@@ -1,0 +1,96 @@
+// neurdb-bench runs the paper's evaluation suite (Table 1, Figures 6-8) and
+// prints paper-reported versus measured results.
+//
+// Usage:
+//
+//	neurdb-bench                 # all experiments at default (fast) scale
+//	neurdb-bench -exp fig7a      # one experiment
+//	neurdb-bench -full           # paper-approaching scale (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"neurdb/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|fig6a|fig6b|fig6c|fig7a|fig7b|fig8|all")
+	full := flag.Bool("full", false, "use paper-approaching scale (slow)")
+	flag.Parse()
+
+	sc := bench.DefaultScale()
+	if *full {
+		sc = bench.FullScale()
+	}
+
+	run := func(name string, f func() (string, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	run("table1", func() (string, error) {
+		rows, err := bench.RunTable1(sc)
+		if err != nil {
+			return "", err
+		}
+		return bench.RenderTable1(rows), nil
+	})
+	run("fig6a", func() (string, error) {
+		rows, err := bench.RunFig6a(sc)
+		if err != nil {
+			return "", err
+		}
+		return bench.RenderFig6a(rows), nil
+	})
+	run("fig6b", func() (string, error) {
+		points, err := bench.RunFig6b(sc)
+		if err != nil {
+			return "", err
+		}
+		return bench.RenderFig6b(points), nil
+	})
+	run("fig6c", func() (string, error) {
+		res, err := bench.RunFig6c(sc)
+		if err != nil {
+			return "", err
+		}
+		return bench.RenderFig6c(res), nil
+	})
+	run("fig7a", func() (string, error) {
+		rows, err := bench.RunFig7a(sc)
+		if err != nil {
+			return "", err
+		}
+		return bench.RenderFig7a(rows), nil
+	})
+	run("fig7b", func() (string, error) {
+		res, err := bench.RunFig7b(sc)
+		if err != nil {
+			return "", err
+		}
+		return bench.RenderFig7b(res), nil
+	})
+	run("fig8", func() (string, error) {
+		res, err := bench.RunFig8(sc)
+		if err != nil {
+			return "", err
+		}
+		return bench.RenderFig8(res), nil
+	})
+
+	if *exp != "all" && !strings.Contains("table1 fig6a fig6b fig6c fig7a fig7b fig8", *exp) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,61 @@
+// neurdb-cli is an interactive SQL shell over an in-memory NeurDB instance,
+// supporting the full dialect including the PREDICT extension.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"neurdb"
+)
+
+func main() {
+	db := neurdb.Open(neurdb.DefaultConfig())
+	fmt.Println("NeurDB shell — end statements with ';' (quit with \\q)")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("neurdb> ")
+		} else {
+			fmt.Print("   ...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "\\q" || trimmed == "exit" || trimmed == "quit" {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt()
+			continue
+		}
+		sql := buf.String()
+		buf.Reset()
+		res, err := db.ExecScript(sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			prompt()
+			continue
+		}
+		if res != nil {
+			if len(res.Columns) > 0 {
+				fmt.Println(strings.Join(res.Columns, " | "))
+			}
+			for _, row := range res.Rows {
+				fmt.Println(row.String())
+			}
+			if res.Message != "" {
+				fmt.Println(res.Message)
+			}
+		}
+		prompt()
+	}
+}

@@ -1,0 +1,67 @@
+// neurdb-server serves a NeurDB instance over a line-based TCP protocol:
+// each client sends one SQL statement per line (';' optional) and receives
+// result rows terminated by "OK" or an "ERR <message>" line.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+
+	"neurdb"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5433", "listen address")
+	flag.Parse()
+
+	db := neurdb.Open(neurdb.DefaultConfig())
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("neurdb-server listening on %s", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("accept: %v", err)
+			return
+		}
+		go serve(db, conn)
+	}
+}
+
+func serve(db *neurdb.DB, conn net.Conn) {
+	defer conn.Close()
+	session := db.NewSession()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	for scanner.Scan() {
+		sql := strings.TrimSuffix(strings.TrimSpace(scanner.Text()), ";")
+		if sql == "" {
+			continue
+		}
+		res, err := session.Exec(sql)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			w.Flush()
+			continue
+		}
+		if len(res.Columns) > 0 {
+			fmt.Fprintln(w, strings.Join(res.Columns, "\t"))
+		}
+		for _, row := range res.Rows {
+			fmt.Fprintln(w, row.String())
+		}
+		if res.Message != "" {
+			fmt.Fprintln(w, res.Message)
+		}
+		fmt.Fprintln(w, "OK")
+		w.Flush()
+	}
+}

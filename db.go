@@ -1,0 +1,740 @@
+// Package neurdb is an AI-powered autonomous database engine — a from-
+// scratch Go reproduction of "NeurDB: On the Design and Implementation of
+// an AI-powered Autonomous Database" (CIDR 2025).
+//
+// The engine combines a relational core (MVCC snapshot isolation + SSI,
+// heap storage with a buffer pool, B-tree/hash indexes, a cost-based
+// optimizer and a Volcano executor) with the paper's in-database AI
+// ecosystem: AI operators in the executor (train / inference / fine-tune),
+// an AI engine with a streaming data protocol, a layered model store with
+// incremental updates, a monitor that triggers adaptation, and
+// fast-adaptive learned components (learned concurrency control and a
+// learned query optimizer).
+//
+// Quick start:
+//
+//	db := neurdb.Open(neurdb.DefaultConfig())
+//	db.Exec(`CREATE TABLE review (id INT PRIMARY KEY, brand TEXT, score DOUBLE)`)
+//	db.Exec(`INSERT INTO review VALUES (1, 'acme', 4.5)`)
+//	res, err := db.Exec(`PREDICT VALUE OF score FROM review TRAIN ON *`)
+package neurdb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"neurdb/internal/aiengine"
+	"neurdb/internal/catalog"
+	"neurdb/internal/executor"
+	"neurdb/internal/index"
+	"neurdb/internal/learnedopt"
+	"neurdb/internal/models"
+	"neurdb/internal/monitor"
+	"neurdb/internal/optimizer"
+	"neurdb/internal/plan"
+	"neurdb/internal/rel"
+	"neurdb/internal/sqlparse"
+	"neurdb/internal/stats"
+	"neurdb/internal/storage"
+	"neurdb/internal/txn"
+)
+
+// OptimizerMode selects how SELECT plans are chosen.
+type OptimizerMode string
+
+// Optimizer modes. CostMode plans with current statistics; StaleCostMode
+// plans with the statistics snapshot taken at the last ANALYZE (the
+// "PostgreSQL under drift" behaviour); LearnedMode uses the NeurDB learned
+// optimizer over candidate plans with live system conditions.
+const (
+	CostMode      OptimizerMode = "cost"
+	StaleCostMode OptimizerMode = "stale"
+	LearnedMode   OptimizerMode = "learned"
+)
+
+// Config parameterizes Open.
+type Config struct {
+	// BufferPoolPages bounds the page cache accounting.
+	BufferPoolPages int
+	// Serializable runs transactions under SSI instead of snapshot isolation.
+	Serializable bool
+	// Optimizer selects the planning mode (default CostMode).
+	Optimizer OptimizerMode
+	// Seed drives all model initialization for reproducibility.
+	Seed int64
+}
+
+// DefaultConfig returns a sensible configuration.
+func DefaultConfig() Config {
+	return Config{BufferPoolPages: 4096, Optimizer: CostMode, Seed: 1}
+}
+
+// DB is a NeurDB database instance.
+type DB struct {
+	mu sync.Mutex
+
+	cfg     Config
+	pool    *storage.BufferPool
+	cat     *catalog.Catalog
+	mgr     *txn.Manager
+	store   *models.Store
+	engine  *aiengine.Engine
+	tracker *monitor.Tracker
+
+	// staleStats snapshots per-table statistics at ANALYZE time; the
+	// stale-cost planner uses them.
+	staleStats map[int]*stats.TableStats
+
+	// learned optimizer state (lazily trained by callers via LearnedQO).
+	learnedQO *learnedopt.Model
+
+	session *Session // implicit session for autocommit Exec
+}
+
+// Open creates an in-memory database instance.
+func Open(cfg Config) *DB {
+	if cfg.BufferPoolPages <= 0 {
+		cfg.BufferPoolPages = 4096
+	}
+	if cfg.Optimizer == "" {
+		cfg.Optimizer = CostMode
+	}
+	pool := storage.NewBufferPool(cfg.BufferPoolPages)
+	store := models.NewStore()
+	db := &DB{
+		cfg:        cfg,
+		pool:       pool,
+		cat:        catalog.New(pool),
+		mgr:        txn.NewManager(),
+		store:      store,
+		engine:     aiengine.NewEngine(store),
+		tracker:    monitor.NewTracker(),
+		staleStats: make(map[int]*stats.TableStats),
+	}
+	db.session = db.NewSession()
+	return db
+}
+
+// Catalog exposes the table registry (read-mostly; used by benchmarks).
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// TxnManager exposes the transaction manager.
+func (db *DB) TxnManager() *txn.Manager { return db.mgr }
+
+// AIEngine exposes the in-database AI engine.
+func (db *DB) AIEngine() *aiengine.Engine { return db.engine }
+
+// ModelStore exposes the layered model store.
+func (db *DB) ModelStore() *models.Store { return db.store }
+
+// BufferPool exposes the buffer pool.
+func (db *DB) BufferPool() *storage.BufferPool { return db.pool }
+
+// Monitor exposes the metric tracker.
+func (db *DB) Monitor() *monitor.Tracker { return db.tracker }
+
+// SetLearnedQO installs a trained learned-optimizer model used by
+// LearnedMode planning.
+func (db *DB) SetLearnedQO(m *learnedopt.Model) {
+	db.mu.Lock()
+	db.learnedQO = m
+	db.mu.Unlock()
+}
+
+// LearnedQO returns the installed learned optimizer (nil if none).
+func (db *DB) LearnedQO() *learnedopt.Model {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.learnedQO
+}
+
+// SetOptimizerMode switches planning behaviour at runtime.
+func (db *DB) SetOptimizerMode(m OptimizerMode) {
+	db.mu.Lock()
+	db.cfg.Optimizer = m
+	db.mu.Unlock()
+}
+
+// OptimizerModeNow returns the active mode.
+func (db *DB) OptimizerModeNow() OptimizerMode {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.cfg.Optimizer
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	Columns  []string
+	Rows     []rel.Row
+	Affected int
+	Message  string
+	// Predictions carries PREDICT output (aligned with Rows).
+	Predictions []float64
+}
+
+// Exec parses and executes one statement with autocommit semantics on the
+// implicit session.
+func (db *DB) Exec(sql string) (*Result, error) {
+	return db.session.Exec(sql)
+}
+
+// Query is an alias of Exec for read statements.
+func (db *DB) Query(sql string) (*Result, error) { return db.Exec(sql) }
+
+// ExecScript runs a semicolon-separated script, returning the last result.
+func (db *DB) ExecScript(sql string) (*Result, error) {
+	stmts, err := sqlparse.ParseScript(sql)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, stmt := range stmts {
+		last, err = db.session.execStmt(stmt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// Session is a connection-like context holding an optional open transaction.
+type Session struct {
+	db  *DB
+	mu  sync.Mutex
+	txn *txn.Txn
+}
+
+// NewSession creates an independent session.
+func (db *DB) NewSession() *Session { return &Session{db: db} }
+
+// Exec parses and executes one statement in this session.
+func (s *Session) Exec(sql string) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.execStmt(stmt)
+}
+
+// level returns the configured isolation level.
+func (s *Session) level() txn.IsolationLevel {
+	if s.db.cfg.Serializable {
+		return txn.Serializable
+	}
+	return txn.Snapshot
+}
+
+// begin returns the session transaction, or a fresh autocommit one plus a
+// finalizer.
+func (s *Session) begin(readOnly bool) (*txn.Txn, func(error) error) {
+	s.mu.Lock()
+	cur := s.txn
+	s.mu.Unlock()
+	if cur != nil {
+		return cur, func(err error) error { return err } // caller-managed
+	}
+	t := s.db.mgr.Begin(s.level(), readOnly)
+	return t, func(err error) error {
+		if err != nil {
+			s.db.mgr.Abort(t)
+			return err
+		}
+		return s.db.mgr.Commit(t)
+	}
+}
+
+func (s *Session) execStmt(stmt sqlparse.Stmt) (*Result, error) {
+	switch t := stmt.(type) {
+	case *sqlparse.CreateTable:
+		return s.execCreateTable(t)
+	case *sqlparse.CreateIndex:
+		return s.execCreateIndex(t)
+	case *sqlparse.DropTable:
+		if err := s.db.cat.Drop(t.Name); err != nil {
+			if t.IfExists {
+				return &Result{Message: "DROP TABLE (skipped)"}, nil
+			}
+			return nil, err
+		}
+		return &Result{Message: "DROP TABLE"}, nil
+	case *sqlparse.Insert:
+		return s.execInsert(t)
+	case *sqlparse.Select:
+		return s.execSelect(t)
+	case *sqlparse.Update:
+		return s.execUpdate(t)
+	case *sqlparse.Delete:
+		return s.execDelete(t)
+	case *sqlparse.TxnStmt:
+		return s.execTxnStmt(t)
+	case *sqlparse.Analyze:
+		return s.execAnalyze(t)
+	case *sqlparse.Explain:
+		return s.execExplain(t)
+	case *sqlparse.SetStmt:
+		return s.execSet(t)
+	case *sqlparse.Predict:
+		return s.execPredict(t)
+	default:
+		return nil, fmt.Errorf("neurdb: unsupported statement %T", stmt)
+	}
+}
+
+func (s *Session) execCreateTable(ct *sqlparse.CreateTable) (*Result, error) {
+	cols := make([]rel.Column, len(ct.Cols))
+	for i, c := range ct.Cols {
+		cols[i] = rel.Column{Name: strings.ToLower(c.Name), Typ: c.Typ, Unique: c.Unique, NotNull: c.NotNull}
+	}
+	tbl, err := s.db.cat.Create(ct.Name, rel.NewSchema(cols...))
+	if err != nil {
+		return nil, err
+	}
+	// Primary-key style columns get a B-tree automatically.
+	for i, c := range cols {
+		if c.Unique {
+			tbl.AddIndex(&catalog.Index{Name: tbl.Name + "_" + c.Name, Col: i, BT: index.NewBTree()})
+		}
+	}
+	return &Result{Message: "CREATE TABLE"}, nil
+}
+
+func (s *Session) execCreateIndex(ci *sqlparse.CreateIndex) (*Result, error) {
+	tbl, err := s.db.cat.Get(ci.Table)
+	if err != nil {
+		return nil, err
+	}
+	col := tbl.Schema.ColIndex(ci.Col)
+	if col < 0 {
+		return nil, fmt.Errorf("neurdb: no column %q in %q", ci.Col, ci.Table)
+	}
+	ix := &catalog.Index{Name: ci.Name, Col: col}
+	if ci.UseHash {
+		ix.Hash = index.NewHashIndex()
+	} else {
+		ix.BT = index.NewBTree()
+	}
+	// Backfill from committed data.
+	tx := s.db.mgr.Begin(txn.Snapshot, true)
+	cursor := tbl.Heap.NewCursor()
+	for {
+		id, head, ok := cursor.Next()
+		if !ok {
+			break
+		}
+		row, visible := s.db.mgr.ReadHead(tbl.ID, id, head, tx)
+		if visible {
+			ix.Insert(row[col], id)
+		}
+	}
+	s.db.mgr.Abort(tx)
+	tbl.AddIndex(ix)
+	return &Result{Message: "CREATE INDEX"}, nil
+}
+
+func (s *Session) execInsert(ins *sqlparse.Insert) (*Result, error) {
+	tbl, err := s.db.cat.Get(ins.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Map column list (or positional) to schema positions.
+	positions := make([]int, 0, tbl.Schema.Arity())
+	if len(ins.Cols) == 0 {
+		for i := 0; i < tbl.Schema.Arity(); i++ {
+			positions = append(positions, i)
+		}
+	} else {
+		for _, name := range ins.Cols {
+			ci := tbl.Schema.ColIndex(name)
+			if ci < 0 {
+				return nil, fmt.Errorf("neurdb: no column %q in %q", name, ins.Table)
+			}
+			positions = append(positions, ci)
+		}
+	}
+	tx, done := s.begin(false)
+	ctx := &executor.Ctx{Mgr: s.db.mgr, Txn: tx, Cat: s.db.cat}
+	count := 0
+	var execErr error
+	for _, exprRow := range ins.Rows {
+		if len(exprRow) != len(positions) {
+			execErr = fmt.Errorf("neurdb: INSERT arity mismatch: %d values for %d columns", len(exprRow), len(positions))
+			break
+		}
+		row := make(rel.Row, tbl.Schema.Arity())
+		for i := range row {
+			row[i] = rel.Null()
+		}
+		for i, e := range exprRow {
+			v, err := evalConstExpr(e)
+			if err != nil {
+				execErr = err
+				break
+			}
+			row[positions[i]] = v
+		}
+		if execErr != nil {
+			break
+		}
+		if _, err := executor.InsertRow(ctx, tbl, row); err != nil {
+			execErr = err
+			break
+		}
+		count++
+	}
+	if err := done(execErr); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: count, Message: fmt.Sprintf("INSERT %d", count)}, nil
+}
+
+// evalConstExpr evaluates a parsed expression with no column references.
+func evalConstExpr(e sqlparse.Expr) (rel.Value, error) {
+	switch t := e.(type) {
+	case *sqlparse.Lit:
+		return t.Val, nil
+	case *sqlparse.Unary:
+		if t.Op == "-" {
+			v, err := evalConstExpr(t.E)
+			if err != nil {
+				return rel.Value{}, err
+			}
+			switch v.Typ {
+			case rel.TypeInt:
+				return rel.Int(-v.I), nil
+			case rel.TypeFloat:
+				return rel.Float(-v.F), nil
+			}
+		}
+		return rel.Value{}, fmt.Errorf("neurdb: unsupported constant expression")
+	case *sqlparse.Binary:
+		l, err := evalConstExpr(t.L)
+		if err != nil {
+			return rel.Value{}, err
+		}
+		r, err := evalConstExpr(t.R)
+		if err != nil {
+			return rel.Value{}, err
+		}
+		be := &rel.BinOp{L: &rel.Const{Val: l}, R: &rel.Const{Val: r}}
+		switch t.Op {
+		case "+":
+			be.Kind = rel.OpAdd
+		case "-":
+			be.Kind = rel.OpSub
+		case "*":
+			be.Kind = rel.OpMul
+		case "/":
+			be.Kind = rel.OpDiv
+		case "%":
+			be.Kind = rel.OpMod
+		default:
+			return rel.Value{}, fmt.Errorf("neurdb: unsupported constant operator %q", t.Op)
+		}
+		return be.Eval(nil), nil
+	default:
+		return rel.Value{}, fmt.Errorf("neurdb: INSERT values must be constants, got %T", e)
+	}
+}
+
+// PlanSelect builds the physical plan for a SELECT under the active
+// optimizer mode (exported for benchmarks and EXPLAIN).
+func (db *DB) PlanSelect(sel *sqlparse.Select) (plan.Node, error) {
+	q, err := optimizer.Bind(sel, db.cat)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	mode := db.cfg.Optimizer
+	learned := db.learnedQO
+	db.mu.Unlock()
+	switch mode {
+	case StaleCostMode:
+		o := &optimizer.Optimizer{Stats: db.StaleStatsView(), CardScale: 1}
+		return o.Plan(q)
+	case LearnedMode:
+		if learned == nil {
+			return optimizer.New().Plan(q)
+		}
+		cands, err := optimizer.EnumerateCandidates(q, nil, []float64{0.1, 10})
+		if err != nil {
+			return nil, err
+		}
+		nodes := make([]plan.Node, len(cands))
+		for i, c := range cands {
+			nodes[i] = c.Plan
+		}
+		cond := learnedopt.BuildConditions(db.cat.All(), db.pool)
+		pick := learned.Choose(learnedopt.EncodeCandidates(nodes), cond)
+		return nodes[pick], nil
+	default:
+		return optimizer.New().Plan(q)
+	}
+}
+
+// StaleStatsView returns a StatsView serving the snapshots captured at the
+// last ANALYZE (tables never analyzed fall back to live stats).
+func (db *DB) StaleStatsView() optimizer.StatsView {
+	return func(t *catalog.Table) *stats.TableStats {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if snap, ok := db.staleStats[t.ID]; ok {
+			return snap
+		}
+		return t.Stats
+	}
+}
+
+func (s *Session) execSelect(sel *sqlparse.Select) (*Result, error) {
+	p, err := s.db.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	tx, done := s.begin(true)
+	ctx := &executor.Ctx{Mgr: s.db.mgr, Txn: tx, Cat: s.db.cat}
+	rows, execErr := executor.Run(p, ctx)
+	if err := done(execErr); err != nil {
+		return nil, err
+	}
+	return &Result{Columns: p.Schema().Names(), Rows: rows}, nil
+}
+
+func (s *Session) execUpdate(up *sqlparse.Update) (*Result, error) {
+	tbl, err := s.db.cat.Get(up.Table)
+	if err != nil {
+		return nil, err
+	}
+	where, err := bindTableExpr(tbl, up.Where)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[int]rel.Expr, len(up.Set))
+	for name, e := range up.Set {
+		ci := tbl.Schema.ColIndex(name)
+		if ci < 0 {
+			return nil, fmt.Errorf("neurdb: no column %q in %q", name, up.Table)
+		}
+		bound, err := bindTableExpr(tbl, e)
+		if err != nil {
+			return nil, err
+		}
+		set[ci] = bound
+	}
+	tx, done := s.begin(false)
+	ctx := &executor.Ctx{Mgr: s.db.mgr, Txn: tx, Cat: s.db.cat}
+	n, execErr := executor.UpdateWhere(ctx, tbl, set, where)
+	if err := done(execErr); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: n, Message: fmt.Sprintf("UPDATE %d", n)}, nil
+}
+
+func (s *Session) execDelete(del *sqlparse.Delete) (*Result, error) {
+	tbl, err := s.db.cat.Get(del.Table)
+	if err != nil {
+		return nil, err
+	}
+	where, err := bindTableExpr(tbl, del.Where)
+	if err != nil {
+		return nil, err
+	}
+	tx, done := s.begin(false)
+	ctx := &executor.Ctx{Mgr: s.db.mgr, Txn: tx, Cat: s.db.cat}
+	n, execErr := executor.DeleteWhere(ctx, tbl, where)
+	if err := done(execErr); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: n, Message: fmt.Sprintf("DELETE %d", n)}, nil
+}
+
+// bindTableExpr binds a parsed expression against a single table's schema
+// via a synthetic single-table query.
+func bindTableExpr(tbl *catalog.Table, e sqlparse.Expr) (rel.Expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	q := syntheticQuery(tbl)
+	return q.BindExprPublic(e)
+}
+
+// syntheticQuery builds a one-table binding context.
+func syntheticQuery(tbl *catalog.Table) *optimizer.Query {
+	return optimizer.SingleTableQuery(tbl)
+}
+
+func (s *Session) execTxnStmt(t *sqlparse.TxnStmt) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch t.Kind {
+	case "BEGIN":
+		if s.txn != nil {
+			return nil, fmt.Errorf("neurdb: transaction already open")
+		}
+		s.txn = s.db.mgr.Begin(s.level(), false)
+		return &Result{Message: "BEGIN"}, nil
+	case "COMMIT":
+		if s.txn == nil {
+			return nil, fmt.Errorf("neurdb: no open transaction")
+		}
+		err := s.db.mgr.Commit(s.txn)
+		s.txn = nil
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Message: "COMMIT"}, nil
+	default: // ROLLBACK
+		if s.txn == nil {
+			return nil, fmt.Errorf("neurdb: no open transaction")
+		}
+		s.db.mgr.Abort(s.txn)
+		s.txn = nil
+		return &Result{Message: "ROLLBACK"}, nil
+	}
+}
+
+func (s *Session) execAnalyze(a *sqlparse.Analyze) (*Result, error) {
+	var tables []*catalog.Table
+	if a.Table != "" {
+		t, err := s.db.cat.Get(a.Table)
+		if err != nil {
+			return nil, err
+		}
+		tables = []*catalog.Table{t}
+	} else {
+		tables = s.db.cat.All()
+	}
+	tx := s.db.mgr.Begin(txn.Snapshot, true)
+	ctx := &executor.Ctx{Mgr: s.db.mgr, Txn: tx, Cat: s.db.cat}
+	for _, t := range tables {
+		rows := executor.ScanAll(ctx, t)
+		t.Stats.Rebuild(rows)
+		s.db.mu.Lock()
+		s.db.staleStats[t.ID] = t.Stats.Snapshot()
+		s.db.mu.Unlock()
+	}
+	s.db.mgr.Abort(tx)
+	return &Result{Message: fmt.Sprintf("ANALYZE %d tables", len(tables))}, nil
+}
+
+func (s *Session) execExplain(e *sqlparse.Explain) (*Result, error) {
+	sel, ok := e.Inner.(*sqlparse.Select)
+	if !ok {
+		return nil, fmt.Errorf("neurdb: EXPLAIN supports SELECT only")
+	}
+	p, err := s.db.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	text := plan.Explain(p)
+	var rows []rel.Row
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		rows = append(rows, rel.Row{rel.Text(line)})
+	}
+	return &Result{Columns: []string{"plan"}, Rows: rows}, nil
+}
+
+func (s *Session) execSet(st *sqlparse.SetStmt) (*Result, error) {
+	switch st.Key {
+	case "optimizer":
+		switch OptimizerMode(strings.ToLower(st.Value)) {
+		case CostMode, StaleCostMode, LearnedMode:
+			s.db.SetOptimizerMode(OptimizerMode(strings.ToLower(st.Value)))
+			return &Result{Message: "SET optimizer"}, nil
+		}
+		return nil, fmt.Errorf("neurdb: unknown optimizer mode %q", st.Value)
+	default:
+		return nil, fmt.Errorf("neurdb: unknown setting %q", st.Key)
+	}
+}
+
+func (s *Session) execPredict(pr *sqlparse.Predict) (*Result, error) {
+	tbl, err := s.db.cat.Get(pr.Table)
+	if err != nil {
+		return nil, err
+	}
+	targetIdx := tbl.Schema.ColIndex(pr.Target)
+	if targetIdx < 0 {
+		return nil, fmt.Errorf("neurdb: no column %q in %q", pr.Target, pr.Table)
+	}
+	// Feature columns: explicit list, or * = everything except the target
+	// and unique-constrained columns (paper §2.3).
+	var featureIdxs []int
+	if pr.TrainAll {
+		for i, c := range tbl.Schema.Cols {
+			if i == targetIdx || c.Unique {
+				continue
+			}
+			featureIdxs = append(featureIdxs, i)
+		}
+	} else {
+		for _, name := range pr.TrainCols {
+			ci := tbl.Schema.ColIndex(name)
+			if ci < 0 {
+				return nil, fmt.Errorf("neurdb: no column %q in %q", name, pr.Table)
+			}
+			if ci == targetIdx {
+				continue
+			}
+			featureIdxs = append(featureIdxs, ci)
+		}
+	}
+	trainFilter, err := bindTableExpr(tbl, pr.With)
+	if err != nil {
+		return nil, err
+	}
+	predictFilter, err := bindTableExpr(tbl, pr.Where)
+	if err != nil {
+		return nil, err
+	}
+	var inline []rel.Row
+	for _, exprRow := range pr.Values {
+		row := make(rel.Row, len(exprRow))
+		for i, e := range exprRow {
+			v, err := evalConstExpr(e)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		inline = append(inline, row)
+	}
+
+	task := executor.PredictTask{
+		Table:          tbl,
+		TargetIdx:      targetIdx,
+		FeatureIdxs:    featureIdxs,
+		Classification: pr.Kind == sqlparse.PredictClass,
+		TrainFilter:    trainFilter,
+		PredictFilter:  predictFilter,
+		InlineRows:     inline,
+		ModelName:      tbl.Name + "." + strings.ToLower(pr.Target),
+	}
+	tx := s.db.mgr.Begin(txn.Snapshot, true)
+	ctx := &executor.Ctx{Mgr: s.db.mgr, Txn: tx, Cat: s.db.cat}
+	res, err := executor.RunPredict(ctx, s.db.engine, task)
+	s.db.mgr.Abort(tx)
+	if err != nil {
+		return nil, err
+	}
+	// Track training loss in the monitor (accuracy-drift detection input).
+	if res.Train != nil && len(res.Train.Losses) > 0 {
+		s.db.tracker.Observe("predict."+task.ModelName+".loss", res.Train.Losses[len(res.Train.Losses)-1])
+	}
+	out := &Result{
+		Columns:     []string{"prediction"},
+		Predictions: res.Predictions,
+		Message:     fmt.Sprintf("PREDICT %s OF %s: %d predictions (model MID=%d reused=%v)", pr.Kind, pr.Target, len(res.Predictions), res.MID, res.Reused),
+	}
+	for _, p := range res.Predictions {
+		v := p
+		if task.Classification {
+			if v >= 0.5 {
+				v = 1
+			} else {
+				v = 0
+			}
+		}
+		out.Rows = append(out.Rows, rel.Row{rel.Float(v)})
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+// Healthcare (Workload H): disease-progression classification through the
+// SQL surface — the paper's Listing 2 — including inline VALUES prediction.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"neurdb"
+	"neurdb/internal/workload"
+)
+
+func main() {
+	db := neurdb.Open(neurdb.DefaultConfig())
+
+	// Build the diabetes table (43 attributes + outcome).
+	var cols []string
+	for i := 0; i < workload.DiabetesFields; i++ {
+		cols = append(cols, fmt.Sprintf("f%d DOUBLE", i))
+	}
+	cols = append(cols, "outcome INT")
+	if _, err := db.Exec("CREATE TABLE diabetes (" + strings.Join(cols, ", ") + ")"); err != nil {
+		log.Fatal(err)
+	}
+
+	gen := workload.NewDiabetes(3)
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO diabetes VALUES ")
+	for i, row := range gen.Batch(1500) {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteByte('(')
+		for j, v := range row {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(v.String())
+		}
+		sb.WriteByte(')')
+	}
+	if _, err := db.Exec(sb.String()); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Exec("ANALYZE diabetes"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Classify two new patients inline (Listing 2 shape).
+	patient1 := gen.Batch(1)[0][:workload.DiabetesFields]
+	patient2 := gen.Batch(1)[0][:workload.DiabetesFields]
+	values := func(row []string) string { return "(" + strings.Join(row, ", ") + ")" }
+	toStrs := func(row interface{ String() string }) string { return row.String() }
+	_ = toStrs
+	var v1, v2 []string
+	for _, v := range patient1 {
+		v1 = append(v1, v.String())
+	}
+	for _, v := range patient2 {
+		v2 = append(v2, v.String())
+	}
+	sql := fmt.Sprintf(`PREDICT CLASS OF outcome FROM diabetes TRAIN ON * VALUES %s, %s`,
+		values(v1), values(v2))
+	res, err := db.Exec(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Message)
+	for i, p := range res.Predictions {
+		fmt.Printf("patient %d: class %v (probability %.3f)\n", i+1, res.Rows[i][0].AsInt(), p)
+	}
+}

@@ -1,0 +1,71 @@
+// Quickstart: open a database, run DDL/DML/queries, and execute the
+// paper's PREDICT extension end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"neurdb"
+)
+
+func main() {
+	db := neurdb.Open(neurdb.DefaultConfig())
+
+	must := func(sql string) *neurdb.Result {
+		res, err := db.Exec(sql)
+		if err != nil {
+			log.Fatalf("%s: %v", sql, err)
+		}
+		return res
+	}
+
+	// Plain SQL.
+	must(`CREATE TABLE review (id INT PRIMARY KEY, brand_name TEXT, stars INT, helpful INT, score DOUBLE)`)
+	for i := 0; i < 500; i++ {
+		stars := i % 5
+		helpful := (i * 7) % 20
+		score := float64(stars)*0.8 + float64(helpful)*0.05
+		must(fmt.Sprintf(`INSERT INTO review VALUES (%d, 'brand%d', %d, %d, %f)`,
+			i, i%10, stars, helpful, score))
+	}
+	// A few rows with missing scores for the brand we care about.
+	for i := 500; i < 505; i++ {
+		must(fmt.Sprintf(`INSERT INTO review VALUES (%d, 'Special Goods', %d, %d, NULL)`,
+			i, i%5, (i*3)%20))
+	}
+	must(`ANALYZE review`)
+
+	res := must(`SELECT brand_name, COUNT(*), AVG(score) FROM review GROUP BY brand_name LIMIT 3`)
+	fmt.Println("group-by sample:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %s\n", row)
+	}
+
+	// EXPLAIN shows the physical plan.
+	res = must(`EXPLAIN SELECT score FROM review WHERE id = 42`)
+	fmt.Println("plan:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %s\n", row[0].S)
+	}
+
+	// The paper's Listing 1: in-database AI analytics with PREDICT.
+	res = must(`PREDICT VALUE OF score
+		FROM review
+		WHERE brand_name = 'Special Goods'
+		TRAIN ON *
+		WITH brand_name <> 'Special Goods'`)
+	fmt.Println(res.Message)
+	for i, p := range res.Predictions {
+		fmt.Printf("  prediction %d: %.3f\n", i, p)
+	}
+
+	// Running PREDICT again reuses the stored model via fine-tuning
+	// (incremental update through the layered model store).
+	res = must(`PREDICT VALUE OF score
+		FROM review
+		WHERE brand_name = 'Special Goods'
+		TRAIN ON *
+		WITH brand_name <> 'Special Goods'`)
+	fmt.Println(res.Message)
+}

@@ -1,0 +1,393 @@
+package aiengine
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+
+	"neurdb/internal/models"
+	"neurdb/internal/nn"
+	"neurdb/internal/rel"
+)
+
+// synthSource generates batches from a simple linear ground truth over
+// categorical ids so training loss must decrease.
+type synthSource struct {
+	r       *rand.Rand
+	batches int
+	size    int
+	fields  int
+	vocab   int
+	cls     bool
+	emitted int
+}
+
+func (s *synthSource) Next() (*Batch, bool) {
+	if s.emitted >= s.batches {
+		return nil, false
+	}
+	s.emitted++
+	x := nn.NewMatrix(s.size, s.fields)
+	y := nn.NewMatrix(s.size, 1)
+	for i := 0; i < s.size; i++ {
+		var signal float64
+		for j := 0; j < s.fields; j++ {
+			id := s.r.Intn(s.vocab)
+			x.Set(i, j, float64(id))
+			signal += float64(id%7) / 7.0
+		}
+		signal /= float64(s.fields)
+		if s.cls {
+			if signal > 0.45 {
+				y.Set(i, 0, 1)
+			}
+		} else {
+			y.Set(i, 0, signal)
+		}
+	}
+	return &Batch{X: x, Y: y}, true
+}
+
+func testSpec(cls bool) models.Spec {
+	return models.Spec{Arch: "armnet", Fields: 4, Vocab: 32, EmbDim: 4, Hidden: 16, Classification: cls, Seed: 7}
+}
+
+func TestTrainInProcessLossDecreases(t *testing.T) {
+	store := models.NewStore()
+	e := NewEngine(store)
+	src := &synthSource{r: rand.New(rand.NewSource(1)), batches: 60, size: 64, fields: 4, vocab: 32}
+	out, err := e.Train(testSpec(false), TrainConfig{Name: "m1", BatchSize: 64, Window: 8, LR: 0.01}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Batches != 60 || out.Samples != 60*64 {
+		t.Fatalf("batches=%d samples=%d", out.Batches, out.Samples)
+	}
+	first := avg(out.Losses[:10])
+	last := avg(out.Losses[len(out.Losses)-10:])
+	if last >= first {
+		t.Fatalf("loss did not decrease: %.4f -> %.4f", first, last)
+	}
+	if out.Throughput <= 0 {
+		t.Fatal("throughput not measured")
+	}
+	// Model stored and view bound.
+	if store.LatestTS(out.MID) != out.TS {
+		t.Fatal("stored version mismatch")
+	}
+	if _, err := store.ResolveView("m1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainOverRealTCP(t *testing.T) {
+	rt, addr, err := StartRuntime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	store := models.NewStore()
+	e := NewEngine(store)
+	e.AddRuntime(addr)
+	src := &synthSource{r: rand.New(rand.NewSource(2)), batches: 20, size: 32, fields: 4, vocab: 32}
+	out, err := e.Train(testSpec(false), TrainConfig{BatchSize: 32, Window: 4, LR: 0.01}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Batches != 20 {
+		t.Fatalf("batches = %d", out.Batches)
+	}
+}
+
+func TestInferenceMatchesTraining(t *testing.T) {
+	store := models.NewStore()
+	e := NewEngine(store)
+	src := &synthSource{r: rand.New(rand.NewSource(3)), batches: 80, size: 64, fields: 4, vocab: 32, cls: true}
+	out, err := e.Train(testSpec(true), TrainConfig{BatchSize: 64, Window: 8, LR: 0.02}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inference on fresh data from the same distribution should beat chance.
+	test := &synthSource{r: rand.New(rand.NewSource(4)), batches: 4, size: 128, fields: 4, vocab: 32, cls: true}
+	var labels []float64
+	var inferBatches []*Batch
+	for {
+		b, ok := test.Next()
+		if !ok {
+			break
+		}
+		labels = append(labels, b.Y.Data...)
+		inferBatches = append(inferBatches, &Batch{X: b.X})
+	}
+	preds, err := e.Infer(out.MID, 0, &SliceSource{Batches: inferBatches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != len(labels) {
+		t.Fatalf("preds %d labels %d", len(preds), len(labels))
+	}
+	auc := nn.AUC(preds, labels)
+	if auc < 0.75 {
+		t.Fatalf("AUC = %.3f, expected learning signal", auc)
+	}
+}
+
+func TestFineTunePersistsOnlyTailLayers(t *testing.T) {
+	store := models.NewStore()
+	e := NewEngine(store)
+	src := &synthSource{r: rand.New(rand.NewSource(5)), batches: 30, size: 64, fields: 4, vocab: 32}
+	out, err := e.Train(testSpec(false), TrainConfig{BatchSize: 64, Window: 8, LR: 0.01}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytesAfterFull := store.StorageBytes()
+
+	ft := &synthSource{r: rand.New(rand.NewSource(6)), batches: 10, size: 64, fields: 4, vocab: 32}
+	res, err := e.FineTune(out.MID, 0, 2, 0.02, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TS <= out.TS {
+		t.Fatal("fine-tune must create a newer version")
+	}
+	// Incremental save must be much smaller than the full model: the frozen
+	// embedding (the bulk of parameters) is shared, not re-stored.
+	delta := store.StorageBytes() - bytesAfterFull
+	if delta <= 0 || delta >= bytesAfterFull/2 {
+		t.Fatalf("incremental update stored %d bytes vs full %d", delta, bytesAfterFull)
+	}
+	// Both versions load, and share the embedding layer bytes.
+	v1, _, err := store.Load(out.MID, out.TS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _, err := store.Load(out.MID, res.TS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v1) != len(v2) {
+		t.Fatal("layer counts differ")
+	}
+	// Frozen prefix identical.
+	if !sameWeights(v1[0], v2[0]) {
+		t.Fatal("embedding layer should be shared across versions")
+	}
+	// Tail changed.
+	if sameWeights(v1[4], v2[4]) {
+		t.Fatal("head layer should differ after fine-tuning")
+	}
+}
+
+func sameWeights(a, b nn.LayerWeights) bool {
+	if len(a.Datas) != len(b.Datas) {
+		return false
+	}
+	for i := range a.Datas {
+		if len(a.Datas[i]) != len(b.Datas[i]) {
+			return false
+		}
+		for j := range a.Datas[i] {
+			if a.Datas[i][j] != b.Datas[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestBaselineTrainsButSlowerPath(t *testing.T) {
+	// The baseline must converge too (same model) — only its data path
+	// differs. Fig 6 measures the performance delta; here we verify
+	// functional equivalence.
+	rows := make([]rel.Row, 0, 2048)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2048; i++ {
+		a, b := r.Intn(32), r.Intn(32)
+		label := float64(a%7)/7.0*0.5 + float64(b%7)/7.0*0.5
+		rows = append(rows, rel.Row{rel.Int(int64(a)), rel.Int(int64(b)), rel.Float(label)})
+	}
+	src := &rowChunks{rows: rows, size: 128}
+	feat := func(rs []rel.Row) (*nn.Matrix, *nn.Matrix) {
+		x := nn.NewMatrix(len(rs), 2)
+		y := nn.NewMatrix(len(rs), 1)
+		for i, row := range rs {
+			x.Set(i, 0, row[0].AsFloat())
+			x.Set(i, 1, row[1].AsFloat())
+			y.Set(i, 0, row[2].AsFloat())
+		}
+		return x, y
+	}
+	spec := models.Spec{Arch: "armnet", Fields: 2, Vocab: 32, EmbDim: 4, Hidden: 16, Seed: 1}
+	out, err := BaselineTrain(spec, TrainConfig{LR: 0.02}, src, feat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Batches != 16 || out.Samples != 2048 {
+		t.Fatalf("batches=%d samples=%d", out.Batches, out.Samples)
+	}
+	if out.Losses[len(out.Losses)-1] >= out.Losses[0] {
+		t.Fatalf("baseline loss did not decrease: %v -> %v", out.Losses[0], out.Losses[len(out.Losses)-1])
+	}
+}
+
+type rowChunks struct {
+	rows []rel.Row
+	size int
+	pos  int
+}
+
+func (rc *rowChunks) Next() ([]rel.Row, bool) {
+	if rc.pos >= len(rc.rows) {
+		return nil, false
+	}
+	end := rc.pos + rc.size
+	if end > len(rc.rows) {
+		end = len(rc.rows)
+	}
+	chunk := rc.rows[rc.pos:end]
+	rc.pos = end
+	return chunk, true
+}
+
+func TestStreamingLoaderPrefetches(t *testing.T) {
+	rows := make([]rel.Row, 640)
+	for i := range rows {
+		rows[i] = rel.Row{rel.Int(int64(i % 32)), rel.Float(0.5)}
+	}
+	src := &rowChunks{rows: rows, size: 64}
+	feat := func(rs []rel.Row) (*nn.Matrix, *nn.Matrix) {
+		x := nn.NewMatrix(len(rs), 1)
+		y := nn.NewMatrix(len(rs), 1)
+		for i, row := range rs {
+			x.Set(i, 0, row[0].AsFloat())
+			y.Set(i, 0, row[1].AsFloat())
+		}
+		return x, y
+	}
+	loader := NewStreamingLoader(src, feat, 4)
+	count := 0
+	for {
+		b, ok := loader.Next()
+		if !ok {
+			break
+		}
+		if b.X.Rows != 64 {
+			t.Fatal("batch size wrong")
+		}
+		count++
+	}
+	if count != 10 {
+		t.Fatalf("loader produced %d batches", count)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	rows := []rel.Row{
+		{rel.Int(1), rel.Float(2.5), rel.Text("abc"), rel.Bool(true), rel.Null()},
+		{rel.Int(-3), rel.Float(0), rel.Text("x"), rel.Bool(false), rel.Int(9)},
+	}
+	text := encodeRowsText(rows)
+	back, err := decodeRowsText(text, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("rows = %d", len(back))
+	}
+	if back[0][0].AsFloat() != 1 || back[0][1].AsFloat() != 2.5 || back[0][2].S != "abc" {
+		t.Fatalf("row0 = %v", back[0])
+	}
+	if !back[0][3].AsBool() || !back[0][4].IsNull() {
+		t.Fatalf("row0 tail = %v", back[0])
+	}
+	if _, err := decodeRowsText("1,2\n", 3); err == nil {
+		t.Fatal("arity mismatch should error")
+	}
+}
+
+func TestTaskManagerRunsTasks(t *testing.T) {
+	tm := NewTaskManager(4)
+	defer tm.Close()
+	results := make([]int, 8)
+	var dones []<-chan struct{}
+	for i := 0; i < 8; i++ {
+		i := i
+		dones = append(dones, tm.Submit(func() { results[i] = i + 1 }))
+	}
+	for _, d := range dones {
+		<-d
+	}
+	for i, v := range results {
+		if v != i+1 {
+			t.Fatalf("task %d did not run", i)
+		}
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	// Runtime rejects unknown architecture via msgError.
+	local, remote := net.Pipe()
+	go func() {
+		defer remote.Close()
+		ServeTask(remote)
+	}()
+	spec := TaskSpec{Kind: TaskTrain, Model: models.Spec{Arch: "nope"}}
+	_, err := RunTask(local, spec, &SliceSource{})
+	if err == nil {
+		t.Fatal("unknown arch should error")
+	}
+	local.Close()
+
+	// Unknown task kind.
+	local2, remote2 := net.Pipe()
+	go func() {
+		defer remote2.Close()
+		ServeTask(remote2)
+	}()
+	_, err = RunTask(local2, TaskSpec{Kind: "bogus", Model: testSpec(false)}, &SliceSource{})
+	if err == nil {
+		t.Fatal("bogus kind should error")
+	}
+	local2.Close()
+}
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	x := nn.FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y := nn.FromRows([][]float64{{9}, {8}})
+	buf := encodeBatch(x, y)
+	x2, y2, err := decodeBatch(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x.Data {
+		if x2.Data[i] != x.Data[i] {
+			t.Fatal("x mismatch")
+		}
+	}
+	for i := range y.Data {
+		if y2.Data[i] != y.Data[i] {
+			t.Fatal("y mismatch")
+		}
+	}
+	// No labels.
+	buf = encodeBatch(x, nil)
+	_, y3, err := decodeBatch(buf)
+	if err != nil || y3 != nil {
+		t.Fatalf("no-label decode: %v %v", y3, err)
+	}
+	// Corrupt.
+	if _, _, err := decodeBatch(buf[:5]); err == nil {
+		t.Fatal("short frame should error")
+	}
+	if _, _, err := decodeBatch(append(buf, 1, 2, 3)); err == nil {
+		t.Fatal("oversized frame should error")
+	}
+}
+
+func avg(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

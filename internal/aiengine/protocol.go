@@ -1,0 +1,178 @@
+// Package aiengine implements the paper's in-database AI ecosystem (§4.1):
+// a task manager that creates per-task dispatchers, AI runtimes reachable
+// over real TCP (or in-process pipes), a binary data streaming protocol with
+// a handshake that negotiates model and streaming parameters and
+// window-based flow control, a streaming data loader that overlaps data
+// preparation with training, and the model-manager operations (train /
+// inference / fine-tune) backed by the layered model store.
+package aiengine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"neurdb/internal/models"
+	"neurdb/internal/nn"
+)
+
+// Message types of the streaming protocol.
+const (
+	msgHandshake byte = iota + 1
+	msgHandshakeAck
+	msgBatch
+	msgBatchAck
+	msgFinish
+	msgResult
+	msgError
+)
+
+// TaskKind selects the AI operator the runtime executes.
+type TaskKind string
+
+// Task kinds (the paper's AI operators).
+const (
+	TaskTrain    TaskKind = "train"
+	TaskInfer    TaskKind = "inference"
+	TaskFineTune TaskKind = "finetune"
+)
+
+// TaskSpec is the handshake payload: model parameters (structure,
+// arguments, batch size) and streaming parameters (window size), exactly
+// the two parameter groups the paper's handshake negotiates.
+type TaskSpec struct {
+	Kind      TaskKind
+	Model     models.Spec
+	BatchSize int
+	Window    int // requested batches in flight
+	LR        float64
+	// FreezeUpTo freezes layers [0, n) for fine-tuning.
+	FreezeUpTo int
+	// InitWeights carries the model for inference / fine-tuning.
+	InitWeights []nn.LayerWeights
+}
+
+// HandshakeAck returns the negotiated streaming parameters.
+type HandshakeAck struct {
+	Window    int
+	BatchSize int
+}
+
+// BatchAck acknowledges one processed batch, returning credit plus the
+// batch's training loss or predictions.
+type BatchAck struct {
+	Seq   int
+	Loss  float64
+	Preds []float64
+}
+
+// TaskResult is the final payload for a completed task.
+type TaskResult struct {
+	Batches int
+	Losses  []float64
+	Preds   []float64
+	Weights []nn.LayerWeights
+}
+
+// writeFrame writes a [type, len, payload] frame.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > 1<<30 {
+		return 0, nil, fmt.Errorf("aiengine: frame too large (%d bytes)", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// encodeBatch packs x (and optional y) matrices into the wire format:
+// rows, xcols, ycols as uint32, then row-major float64 payloads.
+func encodeBatch(x, y *nn.Matrix) []byte {
+	ycols := 0
+	if y != nil {
+		ycols = y.Cols
+	}
+	size := 12 + 8*len(x.Data)
+	if y != nil {
+		size += 8 * len(y.Data)
+	}
+	buf := make([]byte, size)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(x.Rows))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(x.Cols))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(ycols))
+	off := 12
+	for _, v := range x.Data {
+		binary.LittleEndian.PutUint64(buf[off:], mathFloat64bits(v))
+		off += 8
+	}
+	if y != nil {
+		for _, v := range y.Data {
+			binary.LittleEndian.PutUint64(buf[off:], mathFloat64bits(v))
+			off += 8
+		}
+	}
+	return buf
+}
+
+// decodeBatch unpacks a batch frame.
+func decodeBatch(buf []byte) (x, y *nn.Matrix, err error) {
+	if len(buf) < 12 {
+		return nil, nil, fmt.Errorf("aiengine: short batch frame")
+	}
+	rows := int(binary.LittleEndian.Uint32(buf[0:]))
+	xcols := int(binary.LittleEndian.Uint32(buf[4:]))
+	ycols := int(binary.LittleEndian.Uint32(buf[8:]))
+	need := 12 + 8*rows*(xcols+ycols)
+	if len(buf) != need {
+		return nil, nil, fmt.Errorf("aiengine: batch frame size %d, want %d", len(buf), need)
+	}
+	x = nn.NewMatrix(rows, xcols)
+	off := 12
+	for i := range x.Data {
+		x.Data[i] = mathFloat64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	if ycols > 0 {
+		y = nn.NewMatrix(rows, ycols)
+		for i := range y.Data {
+			y.Data[i] = mathFloat64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+	}
+	return x, y, nil
+}

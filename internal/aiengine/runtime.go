@@ -1,0 +1,185 @@
+package aiengine
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+
+	"neurdb/internal/armnet"
+	"neurdb/internal/models"
+	"neurdb/internal/nn"
+)
+
+func mathFloat64bits(f float64) uint64     { return math.Float64bits(f) }
+func mathFloat64frombits(b uint64) float64 { return math.Float64frombits(b) }
+
+// Runtime is an AI runtime node: it accepts task connections from
+// dispatchers and executes train / inference / fine-tune operators. In the
+// paper's architecture these run on external (GPU) nodes; here they run as
+// goroutines behind real TCP sockets on localhost, or in-process pipes.
+type Runtime struct {
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// StartRuntime listens on a localhost TCP port and serves tasks until Stop.
+func StartRuntime() (*Runtime, string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", fmt.Errorf("aiengine: runtime listen: %w", err)
+	}
+	rt := &Runtime{ln: ln, closed: make(chan struct{})}
+	rt.wg.Add(1)
+	go rt.acceptLoop()
+	return rt, ln.Addr().String(), nil
+}
+
+func (rt *Runtime) acceptLoop() {
+	defer rt.wg.Done()
+	for {
+		conn, err := rt.ln.Accept()
+		if err != nil {
+			select {
+			case <-rt.closed:
+				return
+			default:
+				return
+			}
+		}
+		rt.wg.Add(1)
+		go func() {
+			defer rt.wg.Done()
+			defer conn.Close()
+			ServeTask(conn)
+		}()
+	}
+}
+
+// Stop shuts the runtime down.
+func (rt *Runtime) Stop() {
+	close(rt.closed)
+	rt.ln.Close()
+	rt.wg.Wait()
+}
+
+// buildModel constructs the model described by a spec.
+func buildModel(spec models.Spec) (*armnet.Model, error) {
+	switch spec.Arch {
+	case "armnet", "":
+		return armnet.New(spec.Fields, spec.Vocab, spec.EmbDim, spec.Hidden, spec.Classification, spec.Seed), nil
+	default:
+		return nil, fmt.Errorf("aiengine: unknown architecture %q", spec.Arch)
+	}
+}
+
+// ServeTask handles one task connection end-to-end (exported so in-process
+// transports can drive it over a net.Pipe).
+func ServeTask(conn io.ReadWriter) {
+	if err := serveTask(conn); err != nil {
+		payload, _ := gobEncode(err.Error())
+		_ = writeFrame(conn, msgError, payload)
+	}
+}
+
+func serveTask(conn io.ReadWriter) error {
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return fmt.Errorf("read handshake: %w", err)
+	}
+	if typ != msgHandshake {
+		return fmt.Errorf("expected handshake, got frame type %d", typ)
+	}
+	var spec TaskSpec
+	if err := gobDecode(payload, &spec); err != nil {
+		return fmt.Errorf("decode handshake: %w", err)
+	}
+	// Negotiate streaming parameters: clamp the window to a sane range.
+	window := spec.Window
+	if window < 1 {
+		window = 1
+	}
+	if window > 1024 {
+		window = 1024
+	}
+	ackPayload, err := gobEncode(HandshakeAck{Window: window, BatchSize: spec.BatchSize})
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(conn, msgHandshakeAck, ackPayload); err != nil {
+		return err
+	}
+
+	model, err := buildModel(spec.Model)
+	if err != nil {
+		return err
+	}
+	if len(spec.InitWeights) > 0 {
+		if err := model.Restore(spec.InitWeights); err != nil {
+			return fmt.Errorf("restore weights: %w", err)
+		}
+	}
+	switch spec.Kind {
+	case TaskFineTune:
+		model.Net.FreezeUpTo(spec.FreezeUpTo)
+	case TaskTrain, TaskInfer:
+	default:
+		return fmt.Errorf("unknown task kind %q", spec.Kind)
+	}
+	lr := spec.LR
+	if lr == 0 {
+		lr = 0.01
+	}
+	opt := nn.NewAdam(lr)
+
+	result := TaskResult{}
+	seq := 0
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			return fmt.Errorf("read batch: %w", err)
+		}
+		switch typ {
+		case msgBatch:
+			x, y, err := decodeBatch(payload)
+			if err != nil {
+				return err
+			}
+			ack := BatchAck{Seq: seq}
+			seq++
+			switch spec.Kind {
+			case TaskTrain, TaskFineTune:
+				if y == nil {
+					return fmt.Errorf("training batch without labels")
+				}
+				ack.Loss = model.TrainBatch(x, y, opt)
+				result.Losses = append(result.Losses, ack.Loss)
+			case TaskInfer:
+				preds := model.Predict(x)
+				ack.Preds = append([]float64(nil), preds.Data...)
+				result.Preds = append(result.Preds, ack.Preds...)
+			}
+			result.Batches++
+			ackPayload, err := gobEncode(ack)
+			if err != nil {
+				return err
+			}
+			if err := writeFrame(conn, msgBatchAck, ackPayload); err != nil {
+				return err
+			}
+		case msgFinish:
+			if spec.Kind != TaskInfer {
+				result.Weights = model.Snapshot()
+			}
+			payload, err := gobEncode(result)
+			if err != nil {
+				return err
+			}
+			return writeFrame(conn, msgResult, payload)
+		default:
+			return fmt.Errorf("unexpected frame type %d mid-task", typ)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package armnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"neurdb/internal/nn"
+)
+
+func TestGatedInteractionGradients(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	g := NewGatedInteraction(4, 3, r)
+	x := nn.Randn(5, 4, 1, r)
+
+	for _, p := range g.Params() {
+		p.Grad.Zero()
+	}
+	y := g.Forward(x)
+	// loss = 0.5*sum(y²)
+	var loss0 float64
+	dy := nn.NewMatrix(y.Rows, y.Cols)
+	for i, v := range y.Data {
+		loss0 += 0.5 * v * v
+		dy.Data[i] = v
+	}
+	_ = loss0
+	dx := g.Backward(dy)
+
+	lossAt := func() float64 {
+		out := g.Forward(x)
+		var l float64
+		for _, v := range out.Data {
+			l += 0.5 * v * v
+		}
+		return l
+	}
+	const eps, tol = 1e-5, 1e-4
+	for pi, p := range g.Params() {
+		for i := range p.W.Data {
+			orig := p.W.Data[i]
+			p.W.Data[i] = orig + eps
+			lp := lossAt()
+			p.W.Data[i] = orig - eps
+			lm := lossAt()
+			p.W.Data[i] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-p.Grad.Data[i]) > tol*(1+math.Abs(num)) {
+				t.Fatalf("param %d elem %d: analytic %.8f vs numeric %.8f", pi, i, p.Grad.Data[i], num)
+			}
+		}
+	}
+	for i := range x.Data {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		lp := lossAt()
+		x.Data[i] = orig - eps
+		lm := lossAt()
+		x.Data[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-dx.Data[i]) > tol*(1+math.Abs(num)) {
+			t.Fatalf("input elem %d: analytic %.8f vs numeric %.8f", i, dx.Data[i], num)
+		}
+	}
+}
+
+// synthBatch builds a learnable categorical task: label depends on id%5.
+func synthBatch(r *rand.Rand, n, fields, vocab int, cls bool) (*nn.Matrix, *nn.Matrix) {
+	x := nn.NewMatrix(n, fields)
+	y := nn.NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		var signal float64
+		for f := 0; f < fields; f++ {
+			id := r.Intn(vocab)
+			x.Set(i, f, float64(id))
+			signal += float64(id%5) / 5
+		}
+		signal /= float64(fields)
+		if cls {
+			if signal > 0.4 {
+				y.Set(i, 0, 1)
+			}
+		} else {
+			y.Set(i, 0, signal)
+		}
+	}
+	return x, y
+}
+
+func TestRegressionTrainingConverges(t *testing.T) {
+	m := New(3, 24, 4, 16, false, 1)
+	r := rand.New(rand.NewSource(2))
+	opt := nn.NewAdam(0.01)
+	var first, last float64
+	for i := 0; i < 150; i++ {
+		x, y := synthBatch(r, 64, 3, 24, false)
+		loss := m.TrainBatch(x, y, opt)
+		if i == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last >= first {
+		t.Fatalf("regression loss did not decrease: %.4f -> %.4f", first, last)
+	}
+	// EvalLoss does not change weights.
+	x, y := synthBatch(r, 32, 3, 24, false)
+	l1 := m.EvalLoss(x, y)
+	l2 := m.EvalLoss(x, y)
+	if l1 != l2 {
+		t.Fatal("EvalLoss must be deterministic and side-effect free")
+	}
+}
+
+func TestClassificationPredictProbabilities(t *testing.T) {
+	m := New(3, 24, 4, 16, true, 3)
+	r := rand.New(rand.NewSource(4))
+	opt := nn.NewAdam(0.02)
+	for i := 0; i < 200; i++ {
+		x, y := synthBatch(r, 64, 3, 24, true)
+		m.TrainBatch(x, y, opt)
+	}
+	x, y := synthBatch(r, 256, 3, 24, true)
+	probs := m.Predict(x)
+	for _, p := range probs.Data {
+		if p < 0 || p > 1 {
+			t.Fatalf("probability out of range: %v", p)
+		}
+	}
+	var scores, labels []float64
+	scores = append(scores, probs.Data...)
+	labels = append(labels, y.Data...)
+	if auc := nn.AUC(scores, labels); auc < 0.7 {
+		t.Fatalf("AUC = %.3f; model failed to learn", auc)
+	}
+	// Regression predict returns raw values (can exceed [0,1]).
+	reg := New(2, 8, 2, 4, false, 5)
+	out := reg.Predict(nn.FromRows([][]float64{{1, 2}}))
+	if out.Rows != 1 || out.Cols != 1 {
+		t.Fatal("regression predict shape wrong")
+	}
+}
+
+func TestFreezeForIncrementalUpdate(t *testing.T) {
+	m := New(3, 24, 4, 16, false, 6)
+	m.FreezeForIncrementalUpdate()
+	embFrozen := m.Net.Layers[0].Params()[0].Frozen
+	gateFrozen := m.Net.Layers[1].Params()[0].Frozen
+	headFrozen := m.Net.Layers[4].Params()[0].Frozen
+	if !embFrozen || !gateFrozen {
+		t.Fatal("prefix should be frozen")
+	}
+	if headFrozen {
+		t.Fatal("head should be trainable")
+	}
+	// Training with frozen prefix leaves the embedding unchanged.
+	r := rand.New(rand.NewSource(7))
+	opt := nn.NewAdam(0.05)
+	before := append([]float64(nil), m.Net.Layers[0].Params()[0].W.Data...)
+	for i := 0; i < 10; i++ {
+		x, y := synthBatch(r, 32, 3, 24, false)
+		m.TrainBatch(x, y, opt)
+	}
+	for i, v := range m.Net.Layers[0].Params()[0].W.Data {
+		if v != before[i] {
+			t.Fatal("frozen embedding moved")
+		}
+	}
+	// UpdatedLayers returns only unfrozen parametered layers.
+	up := m.UpdatedLayers()
+	if _, ok := up[0]; ok {
+		t.Fatal("frozen embedding must not be in updated set")
+	}
+	if _, ok := up[2]; !ok {
+		t.Fatal("hidden layer missing from updated set")
+	}
+	if _, ok := up[4]; !ok {
+		t.Fatal("head missing from updated set")
+	}
+	m.Unfreeze()
+	if m.Net.Layers[0].Params()[0].Frozen {
+		t.Fatal("unfreeze failed")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	m := New(2, 16, 4, 8, false, 8)
+	if m.NumLayers() != 5 {
+		t.Fatalf("layers = %d", m.NumLayers())
+	}
+	snap := m.Snapshot()
+	x := nn.FromRows([][]float64{{3, 7}})
+	before := m.Forward(x).At(0, 0)
+	// Clobber weights, restore, verify output identical.
+	for _, l := range m.Net.Layers {
+		for _, p := range l.Params() {
+			for i := range p.W.Data {
+				p.W.Data[i] = 99
+			}
+		}
+	}
+	if err := m.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Forward(x).At(0, 0)
+	if before != after {
+		t.Fatalf("restore mismatch: %v vs %v", before, after)
+	}
+}

@@ -1,0 +1,6 @@
+package armnet
+
+import "math"
+
+func mathExp(x float64) float64 { return math.Exp(x) }
+func tanh(x float64) float64    { return math.Tanh(x) }

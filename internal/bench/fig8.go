@@ -1,0 +1,473 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"neurdb"
+	"neurdb/internal/executor"
+	"neurdb/internal/learnedopt"
+	"neurdb/internal/nn"
+	"neurdb/internal/optimizer"
+	"neurdb/internal/plan"
+	"neurdb/internal/rel"
+	"neurdb/internal/sqlparse"
+	"neurdb/internal/txn"
+	"neurdb/internal/workload"
+)
+
+// Fig8Optimizers lists the compared systems in paper order, plus an Oracle
+// row (the best measured live candidate) as the achievable floor.
+var Fig8Optimizers = []string{"PostgreSQL", "Bao", "Lero", "NeurDB", "Oracle"}
+
+// Fig8Result carries per-query latencies for each drift level and system.
+type Fig8Result struct {
+	Levels  []string
+	Queries int
+	// LatencyMS[level][system][queryIdx]
+	LatencyMS map[string]map[string][]float64
+	AvgMS     map[string]map[string]float64
+	// NeurDBReduction is 1 - avg(NeurDB)/avg(best baseline) over drifted
+	// levels; paper reports up to 20.32% lower average latency.
+	NeurDBReduction float64
+}
+
+// fig8Env is the benchmark environment.
+type fig8Env struct {
+	db      *neurdb.DB
+	sw      *workload.Stats
+	queries []*sqlparse.Select
+	sc      Scale
+}
+
+// RunFig8 reproduces the learned-query-optimizer drift experiment: 8 SPJ
+// queries on the STATS-like schema under {original, mild, severe} drift,
+// comparing the stale-statistics cost optimizer ("PostgreSQL"), stable Bao
+// and Lero models, and the NeurDB dual-module optimizer fed with live
+// system conditions.
+//
+// Protocol: candidates are measured at the original state (training data
+// for all learned systems) and at a held-out half-drift state (NeurDB
+// only — standing in for the paper's synthetic pre-training diversity);
+// models are then frozen and evaluated at the mild and severe states.
+func RunFig8(sc Scale) (*Fig8Result, error) {
+	env := &fig8Env{db: neurdb.Open(neurdb.DefaultConfig()), sw: workload.NewStats(sc.StatsScale, 99), sc: sc}
+	if err := env.load(); err != nil {
+		return nil, err
+	}
+	for _, q := range env.sw.Queries() {
+		stmt, err := sqlparse.Parse(q)
+		if err != nil {
+			return nil, fmt.Errorf("bench: parse %q: %w", q, err)
+		}
+		env.queries = append(env.queries, stmt.(*sqlparse.Select))
+	}
+	if _, err := env.db.Exec("ANALYZE"); err != nil {
+		return nil, err
+	}
+
+	// --- State 0 (original): measure candidates; eval + training data.
+	state0, err := env.measureAll()
+	if err != nil {
+		return nil, err
+	}
+
+	// --- State 0.5: half of the mild drift, training data for NeurDB.
+	if err := env.applyInserts(workload.DriftMild, 0, 0.5); err != nil {
+		return nil, err
+	}
+	state05, err := env.measureAll()
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Train models, then freeze.
+	bao := learnedopt.NewBao(5)
+	lero := learnedopt.NewLero(6)
+	trainBaselines(state0, bao, lero)
+	bao.Freeze()
+	lero.Freeze()
+	ndModel := learnedopt.NewModel(16, 2, 7)
+	trainNeurDB(append(append([]*queryMeasurement{}, state0...), state05...), ndModel, sc.QOTrainPasses)
+	env.db.SetLearnedQO(ndModel)
+
+	// --- State 1 (mild): complete the mild drift; evaluate.
+	if err := env.applyInserts(workload.DriftMild, 0.5, 1.0); err != nil {
+		return nil, err
+	}
+	state1, err := env.measureAll()
+	if err != nil {
+		return nil, err
+	}
+	// Continuous adaptation: after the mild state has been measured (and
+	// its evaluation numbers fixed), its observations join the training
+	// pool — the paper's models keep pre-training over drift states; the
+	// severe state remains fully held out. Bao and Lero stay frozen
+	// ("stable models", per the paper's protocol).
+	trainNeurDB(state1, ndModel, sc.QOTrainPasses)
+
+	// --- State 2 (severe): severe drift inserts + deletes; evaluate.
+	if err := env.applyInserts(workload.DriftSevere, 0, 1.0); err != nil {
+		return nil, err
+	}
+	if err := env.applyDeletes(); err != nil {
+		return nil, err
+	}
+	state2, err := env.measureAll()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig8Result{
+		Levels:    []string{"Original STATS", "STATS w. Mild Drift", "STATS w. Severe Drift"},
+		Queries:   len(env.queries),
+		LatencyMS: map[string]map[string][]float64{},
+		AvgMS:     map[string]map[string]float64{},
+	}
+	for li, ms := range [][]*queryMeasurement{state0, state1, state2} {
+		level := res.Levels[li]
+		res.LatencyMS[level] = map[string][]float64{}
+		for _, sys := range Fig8Optimizers {
+			res.LatencyMS[level][sys] = make([]float64, len(env.queries))
+		}
+		for qi, m := range ms {
+			res.LatencyMS[level]["PostgreSQL"][qi] = m.choose(m.pgChoice)
+			res.LatencyMS[level]["Bao"][qi] = m.choose(bao.Choose(m.stalePlans))
+			res.LatencyMS[level]["Lero"][qi] = m.choose(lero.Choose(m.leroPlans(m)))
+			cond := m.cond
+			filtered := make([]plan.Node, len(m.topLive))
+			for i, idx := range m.topLive {
+				filtered[i] = m.livePlans[idx]
+			}
+			pick := ndModel.Choose(learnedopt.EncodeCandidates(filtered), cond)
+			res.LatencyMS[level]["NeurDB"][qi] = m.chooseLive(m.topLive[pick])
+			res.LatencyMS[level]["Oracle"][qi] = m.chooseLive(m.bestLive)
+		}
+		res.AvgMS[level] = map[string]float64{}
+		for _, sys := range Fig8Optimizers {
+			res.AvgMS[level][sys] = mean(res.LatencyMS[level][sys])
+		}
+	}
+	// NeurDB reduction vs the best baseline, averaged over drifted levels.
+	var ndSum, baseSum float64
+	for _, level := range res.Levels[1:] {
+		ndSum += res.AvgMS[level]["NeurDB"]
+		best := res.AvgMS[level]["PostgreSQL"]
+		for _, sys := range []string{"Bao", "Lero"} {
+			if res.AvgMS[level][sys] < best {
+				best = res.AvgMS[level][sys]
+			}
+		}
+		baseSum += best
+	}
+	if baseSum > 0 {
+		res.NeurDBReduction = 1 - ndSum/baseSum
+	}
+	return res, nil
+}
+
+// load creates the schema, indexes, and initial data.
+func (env *fig8Env) load() error {
+	cat := env.db.Catalog()
+	mgr := env.db.TxnManager()
+	for _, def := range env.sw.Tables() {
+		if _, err := cat.Create(def.Name, rel.NewSchema(def.Cols...)); err != nil {
+			return err
+		}
+		tbl, _ := cat.Get(def.Name)
+		for _, colName := range def.IndexCols {
+			ci := tbl.Schema.ColIndex(colName)
+			if _, err := env.db.Exec(fmt.Sprintf("CREATE INDEX %s_%s ON %s (%s)", def.Name, colName, def.Name, colName)); err != nil {
+				return err
+			}
+			_ = ci
+		}
+		rows := env.sw.Rows(def.Name)
+		tx := mgr.Begin(txn.Snapshot, false)
+		ctx := &executor.Ctx{Mgr: mgr, Txn: tx, Cat: cat}
+		for _, row := range rows {
+			if _, err := executor.InsertRow(ctx, tbl, row); err != nil {
+				mgr.Abort(tx)
+				return err
+			}
+		}
+		if err := mgr.Commit(tx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyInserts applies a fraction range [from, to) of a drift level's
+// inserts (live statistics update incrementally through the executor).
+func (env *fig8Env) applyInserts(level workload.DriftLevel, from, to float64) error {
+	cat := env.db.Catalog()
+	mgr := env.db.TxnManager()
+	for _, def := range env.sw.Tables() {
+		rows := env.sw.DriftInserts(def.Name, level)
+		if len(rows) == 0 {
+			continue
+		}
+		lo := int(from * float64(len(rows)))
+		hi := int(to * float64(len(rows)))
+		tbl, _ := cat.Get(def.Name)
+		tx := mgr.Begin(txn.Snapshot, false)
+		ctx := &executor.Ctx{Mgr: mgr, Txn: tx, Cat: cat}
+		for _, row := range rows[lo:hi] {
+			if _, err := executor.InsertRow(ctx, tbl, row); err != nil {
+				mgr.Abort(tx)
+				return err
+			}
+		}
+		if err := mgr.Commit(tx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyDeletes applies the severe-drift deletions.
+func (env *fig8Env) applyDeletes() error {
+	for table, where := range env.sw.DriftDeletes(workload.DriftSevere) {
+		if _, err := env.db.Exec(fmt.Sprintf("DELETE FROM %s WHERE %s", table, where)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// queryMeasurement holds one query's candidates and measured runtimes at
+// one data state.
+type queryMeasurement struct {
+	stalePlans []plan.Node // candidates the stale-stats planner generates
+	livePlans  []plan.Node // candidates generated with live statistics
+	topLive    []int       // FRP filter: top candidates by live estimated cost
+	staleMS    []float64   // measured runtime per stale candidate
+	liveMS     []float64
+	pgChoice   int // index of the stale default plan
+	leroIdx    []int
+	cond       *nn.Matrix
+	bestLive   int
+}
+
+func (m *queryMeasurement) choose(i int) float64 {
+	if i < 0 || i >= len(m.staleMS) {
+		return m.staleMS[0]
+	}
+	return m.staleMS[i]
+}
+
+func (m *queryMeasurement) chooseLive(i int) float64 {
+	if i < 0 || i >= len(m.liveMS) {
+		return m.liveMS[0]
+	}
+	return m.liveMS[i]
+}
+
+// leroPlans restricts the stale candidates to Lero's cardinality-sweep arms.
+func (m *queryMeasurement) leroPlans(_ *queryMeasurement) []plan.Node {
+	out := make([]plan.Node, 0, len(m.leroIdx))
+	for _, i := range m.leroIdx {
+		out = append(out, m.stalePlans[i])
+	}
+	return out
+}
+
+// measureAll generates and measures candidates for every query at the
+// current data state.
+func (env *fig8Env) measureAll() ([]*queryMeasurement, error) {
+	var out []*queryMeasurement
+	cond := learnedopt.BuildConditions(env.db.Catalog().All(), env.db.BufferPool())
+	for _, sel := range env.queries {
+		q, err := optimizer.Bind(sel, env.db.Catalog())
+		if err != nil {
+			return nil, err
+		}
+		staleCands, err := optimizer.EnumerateCandidates(q, env.db.StaleStatsView(), []float64{0.1, 10})
+		if err != nil {
+			return nil, err
+		}
+		liveCands, err := optimizer.EnumerateCandidates(q, nil, []float64{0.1, 10})
+		if err != nil {
+			return nil, err
+		}
+		m := &queryMeasurement{cond: cond}
+		for i, c := range staleCands {
+			m.stalePlans = append(m.stalePlans, c.Plan)
+			if c.Hint == "default" {
+				m.pgChoice = i
+			}
+			if c.Hint == "default" || strings.HasPrefix(c.Hint, "cardx") {
+				m.leroIdx = append(m.leroIdx, i)
+			}
+		}
+		for _, c := range liveCands {
+			m.livePlans = append(m.livePlans, c.Plan)
+		}
+		// Filter-and-refine: the analyzer refines among the K cheapest
+		// candidates under live statistics (paper §4.2 Discussion).
+		order := make([]int, len(m.livePlans))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			_, ca := m.livePlans[order[a]].Estimates()
+			_, cb := m.livePlans[order[b]].Estimates()
+			return ca < cb
+		})
+		k := 4
+		if k > len(order) {
+			k = len(order)
+		}
+		m.topLive = order[:k]
+		m.staleMS = make([]float64, len(m.stalePlans))
+		for i, p := range m.stalePlans {
+			ms, err := env.timePlan(p)
+			if err != nil {
+				return nil, err
+			}
+			m.staleMS[i] = ms
+		}
+		m.liveMS = make([]float64, len(m.livePlans))
+		best := 0
+		for i, p := range m.livePlans {
+			ms, err := env.timePlan(p)
+			if err != nil {
+				return nil, err
+			}
+			m.liveMS[i] = ms
+			if ms < m.liveMS[best] {
+				best = i
+			}
+		}
+		m.bestLive = best
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// timePlan executes a plan and returns the median latency in milliseconds.
+func (env *fig8Env) timePlan(p plan.Node) (float64, error) {
+	var samples []float64
+	for i := 0; i < env.sc.QORepeats; i++ {
+		tx := env.db.TxnManager().Begin(txn.Snapshot, true)
+		ctx := &executor.Ctx{Mgr: env.db.TxnManager(), Txn: tx, Cat: env.db.Catalog()}
+		start := time.Now()
+		_, err := executor.Run(p, ctx)
+		env.db.TxnManager().Abort(tx)
+		if err != nil {
+			return 0, err
+		}
+		samples = append(samples, float64(time.Since(start).Microseconds())/1000)
+	}
+	sort.Float64s(samples)
+	return samples[len(samples)/2], nil
+}
+
+// trainBaselines fits Bao and Lero on the original-state measurements.
+func trainBaselines(state []*queryMeasurement, bao *learnedopt.Bao, lero *learnedopt.Lero) {
+	baoOpt := nn.NewAdam(0.005)
+	leroOpt := nn.NewAdam(0.005)
+	for pass := 0; pass < 40; pass++ {
+		for _, m := range state {
+			for i, p := range m.stalePlans {
+				bao.Train(p, m.staleMS[i]/1000, baoOpt)
+			}
+			for i := 0; i < len(m.stalePlans); i++ {
+				for j := i + 1; j < len(m.stalePlans); j++ {
+					if m.staleMS[i] < m.staleMS[j] {
+						lero.TrainPair(m.stalePlans[i], m.stalePlans[j], leroOpt)
+					} else if m.staleMS[j] < m.staleMS[i] {
+						lero.TrainPair(m.stalePlans[j], m.stalePlans[i], leroOpt)
+					}
+				}
+			}
+		}
+	}
+}
+
+// trainNeurDB fits the dual-module model on (candidates, conditions, best)
+// examples with light feature-noise augmentation.
+func trainNeurDB(state []*queryMeasurement, model *learnedopt.Model, passes int) {
+	opt := nn.NewAdam(0.003)
+	rng := rand.New(rand.NewSource(13))
+	var examples []learnedopt.Example
+	for _, m := range state {
+		if len(m.topLive) >= 2 {
+			filtered := make([]plan.Node, len(m.topLive))
+			best := 0
+			for i, idx := range m.topLive {
+				filtered[i] = m.livePlans[idx]
+				if m.liveMS[idx] < m.liveMS[m.topLive[best]] {
+					best = i
+				}
+			}
+			examples = append(examples, learnedopt.Example{
+				Tokens: learnedopt.EncodeCandidates(filtered),
+				Cond:   m.cond,
+				Best:   best,
+			})
+		}
+		// The stale candidate set (with its own measured runtimes) doubles
+		// the training data and broadens plan diversity.
+		if len(m.stalePlans) >= 2 {
+			best := 0
+			for i := range m.staleMS {
+				if m.staleMS[i] < m.staleMS[best] {
+					best = i
+				}
+			}
+			examples = append(examples, learnedopt.Example{
+				Tokens: learnedopt.EncodeCandidates(m.stalePlans),
+				Cond:   m.cond,
+				Best:   best,
+			})
+		}
+	}
+	for pass := 0; pass < passes; pass++ {
+		for _, ex := range examples {
+			// Jitter tokens slightly for regularization.
+			jit := make([][][]float64, len(ex.Tokens))
+			for i, seq := range ex.Tokens {
+				jseq := make([][]float64, len(seq))
+				for j, tok := range seq {
+					jtok := append([]float64(nil), tok...)
+					for k := range jtok {
+						jtok[k] += rng.NormFloat64() * 0.01
+					}
+					jseq[j] = jtok
+				}
+				jit[i] = jseq
+			}
+			model.TrainExample(learnedopt.Example{Tokens: jit, Cond: ex.Cond, Best: ex.Best}, opt)
+		}
+	}
+}
+
+// RenderFig8 prints the per-query latency table.
+func RenderFig8(r *Fig8Result) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 8 — Learned query optimizers on STATS under drift (latency, ms)\n")
+	sb.WriteString("paper: NeurDB up to 20.32% lower average latency across evaluated queries\n")
+	for _, level := range r.Levels {
+		fmt.Fprintf(&sb, "  %s:\n", level)
+		fmt.Fprintf(&sb, "    %-12s", "query")
+		for q := 0; q < r.Queries; q++ {
+			fmt.Fprintf(&sb, "  Q%-6d", q+1)
+		}
+		sb.WriteString("  avg\n")
+		for _, sys := range Fig8Optimizers {
+			fmt.Fprintf(&sb, "    %-12s", sys)
+			for _, ms := range r.LatencyMS[level][sys] {
+				fmt.Fprintf(&sb, "  %-7.2f", ms)
+			}
+			fmt.Fprintf(&sb, "  %.2f\n", r.AvgMS[level][sys])
+		}
+	}
+	fmt.Fprintf(&sb, "  NeurDB average-latency reduction vs best baseline (drifted levels): %.1f%%\n",
+		r.NeurDBReduction*100)
+	return sb.String()
+}

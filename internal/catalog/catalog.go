@@ -1,0 +1,169 @@
+// Package catalog tracks table metadata: schemas, heaps, secondary indexes,
+// and statistics. It is the shared registry every engine layer (parser
+// binding, optimizer, executor, AI operators) resolves names against.
+package catalog
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"neurdb/internal/index"
+	"neurdb/internal/rel"
+	"neurdb/internal/stats"
+	"neurdb/internal/storage"
+)
+
+// Index is a secondary index over one column; exactly one of BT/Hash is set.
+type Index struct {
+	Name string
+	Col  int
+	BT   *index.BTree
+	Hash *index.HashIndex
+}
+
+// Ordered reports whether the index supports range scans.
+func (ix *Index) Ordered() bool { return ix.BT != nil }
+
+// Insert adds a posting.
+func (ix *Index) Insert(key rel.Value, id storage.RowID) {
+	if ix.BT != nil {
+		ix.BT.Insert(key, id)
+	} else {
+		ix.Hash.Insert(key, id)
+	}
+}
+
+// Delete removes a posting.
+func (ix *Index) Delete(key rel.Value, id storage.RowID) {
+	if ix.BT != nil {
+		ix.BT.Delete(key, id)
+	} else {
+		ix.Hash.Delete(key, id)
+	}
+}
+
+// Lookup probes for equal keys.
+func (ix *Index) Lookup(key rel.Value) []storage.RowID {
+	if ix.BT != nil {
+		return ix.BT.Lookup(key)
+	}
+	return ix.Hash.Lookup(key)
+}
+
+// Table bundles everything the engine knows about one relation.
+type Table struct {
+	ID      int
+	Name    string
+	Schema  *rel.Schema
+	Heap    *storage.Heap
+	Stats   *stats.TableStats
+	mu      sync.RWMutex
+	indexes []*Index
+}
+
+// Indexes returns the current index list (copy-safe for iteration).
+func (t *Table) Indexes() []*Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Index, len(t.indexes))
+	copy(out, t.indexes)
+	return out
+}
+
+// IndexOn returns an index over the given column, preferring ordered ones,
+// or nil.
+func (t *Table) IndexOn(col int) *Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var hash *Index
+	for _, ix := range t.indexes {
+		if ix.Col != col {
+			continue
+		}
+		if ix.BT != nil {
+			return ix
+		}
+		hash = ix
+	}
+	return hash
+}
+
+// AddIndex registers a new index (already populated by the caller).
+func (t *Table) AddIndex(ix *Index) {
+	t.mu.Lock()
+	t.indexes = append(t.indexes, ix)
+	t.mu.Unlock()
+}
+
+// Catalog is the table registry.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	nextID int
+	Pool   *storage.BufferPool
+}
+
+// New creates a catalog backed by the given buffer pool (may be nil).
+func New(pool *storage.BufferPool) *Catalog {
+	return &Catalog{tables: make(map[string]*Table), Pool: pool}
+}
+
+// Create registers a new table.
+func (c *Catalog) Create(name string, schema *rel.Schema) (*Table, error) {
+	key := strings.ToLower(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.tables[key]; exists {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	c.nextID++
+	t := &Table{
+		ID:     c.nextID,
+		Name:   key,
+		Schema: schema,
+		Heap:   storage.NewHeap(c.nextID, c.Pool),
+		Stats:  stats.NewTableStats(schema.Arity()),
+	}
+	c.tables[key] = t
+	return t, nil
+}
+
+// Get resolves a table by name.
+func (c *Catalog) Get(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// Drop removes a table.
+func (c *Catalog) Drop(name string) error {
+	key := strings.ToLower(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+// All returns all tables sorted by id (stable feature ordering for models).
+func (c *Catalog) All() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].ID > out[j].ID; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package catalog
+
+import (
+	"testing"
+
+	"neurdb/internal/index"
+	"neurdb/internal/rel"
+	"neurdb/internal/storage"
+)
+
+func schema() *rel.Schema {
+	return rel.NewSchema(
+		rel.Column{Name: "id", Typ: rel.TypeInt, Unique: true},
+		rel.Column{Name: "v", Typ: rel.TypeFloat},
+	)
+}
+
+func TestCreateGetDrop(t *testing.T) {
+	c := New(storage.NewBufferPool(16))
+	tbl, err := c.Create("T1", schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Name != "t1" || tbl.ID == 0 {
+		t.Fatalf("table meta: %+v", tbl)
+	}
+	// Case-insensitive resolution.
+	got, err := c.Get("t1")
+	if err != nil || got != tbl {
+		t.Fatal("get failed")
+	}
+	if _, err := c.Get("T1"); err != nil {
+		t.Fatal("case-insensitive get failed")
+	}
+	// Duplicate create.
+	if _, err := c.Create("t1", schema()); err == nil {
+		t.Fatal("duplicate create should fail")
+	}
+	// Drop.
+	if err := c.Drop("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("t1"); err == nil {
+		t.Fatal("dropped table should be gone")
+	}
+	if err := c.Drop("t1"); err == nil {
+		t.Fatal("double drop should fail")
+	}
+}
+
+func TestAllSortedByID(t *testing.T) {
+	c := New(nil)
+	for _, name := range []string{"zed", "alpha", "mid"} {
+		if _, err := c.Create(name, schema()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := c.All()
+	if len(all) != 3 {
+		t.Fatalf("all = %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Fatal("tables not sorted by id")
+		}
+	}
+}
+
+func TestIndexManagement(t *testing.T) {
+	c := New(nil)
+	tbl, _ := c.Create("t", schema())
+	if tbl.IndexOn(0) != nil {
+		t.Fatal("no index expected")
+	}
+	hash := &Index{Name: "h", Col: 0, Hash: index.NewHashIndex()}
+	tbl.AddIndex(hash)
+	if got := tbl.IndexOn(0); got != hash {
+		t.Fatal("hash index not found")
+	}
+	if hash.Ordered() {
+		t.Fatal("hash index is not ordered")
+	}
+	// Ordered index on the same column takes precedence.
+	bt := &Index{Name: "b", Col: 0, BT: index.NewBTree()}
+	tbl.AddIndex(bt)
+	if got := tbl.IndexOn(0); got != bt {
+		t.Fatal("btree should win over hash")
+	}
+	if !bt.Ordered() {
+		t.Fatal("btree must be ordered")
+	}
+	if len(tbl.Indexes()) != 2 {
+		t.Fatal("index list wrong")
+	}
+	// Insert/lookup/delete through the unified interface.
+	id := storage.RowID{Page: 1, Slot: 2}
+	for _, ix := range tbl.Indexes() {
+		ix.Insert(rel.Int(5), id)
+		if got := ix.Lookup(rel.Int(5)); len(got) != 1 || got[0] != id {
+			t.Fatalf("lookup through %s failed", ix.Name)
+		}
+		ix.Delete(rel.Int(5), id)
+		if got := ix.Lookup(rel.Int(5)); len(got) != 0 {
+			t.Fatalf("delete through %s failed", ix.Name)
+		}
+	}
+}

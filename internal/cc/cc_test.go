@@ -1,0 +1,366 @@
+package cc
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// transferGen produces zipfian-ish transfer transactions: two distinct keys,
+// read both, then -d / +d writes: total value is conserved iff CC is sound.
+type transferGen struct {
+	keys int
+	hot  int // first `hot` keys absorb half the accesses
+}
+
+func (g *transferGen) Generate(r *rand.Rand, txn *Txn) {
+	pick := func() int {
+		if g.hot > 0 && r.Intn(2) == 0 {
+			return r.Intn(g.hot)
+		}
+		return r.Intn(g.keys)
+	}
+	a := pick()
+	b := pick()
+	for b == a {
+		b = pick()
+	}
+	txn.Type = 0
+	txn.Ops = txn.Ops[:0]
+	txn.Ops = append(txn.Ops,
+		Op{Key: a, Write: false},
+		Op{Key: b, Write: false},
+		Op{Key: a, Write: true, Delta: -1},
+		Op{Key: b, Write: true, Delta: +1},
+	)
+}
+
+func policies(seed int64) []Policy {
+	return []Policy{NewSSI(), NewTwoPL(), NewOCC(), NewNoWait(), NewLearnedPolicy(seed), NewPolyjuice()}
+}
+
+func TestAllPoliciesConserveTotal(t *testing.T) {
+	for _, pol := range policies(1) {
+		pol := pol
+		t.Run(pol.Name(), func(t *testing.T) {
+			store := NewStore(64)
+			e := NewEngine(store, pol)
+			gen := &transferGen{keys: 64, hot: 4}
+			res := e.RunFixed(gen, 8, 300)
+			if res.Commits == 0 {
+				t.Fatal("no commits")
+			}
+			var total int64
+			for i := 0; i < store.Size(); i++ {
+				total += store.Value(i)
+			}
+			if total != 0 {
+				t.Fatalf("policy %s: total = %d, want 0 (commits=%d aborts=%d)",
+					pol.Name(), total, res.Commits, res.Aborts)
+			}
+		})
+	}
+}
+
+// pairGen: writers bump keys 2i and 2i+1 together; readers read both and
+// must observe equal values under serializable execution.
+type pairGen struct {
+	pairs int
+}
+
+func (g *pairGen) Generate(r *rand.Rand, txn *Txn) {
+	p := r.Intn(g.pairs)
+	txn.Type = 1
+	txn.Ops = txn.Ops[:0]
+	txn.Ops = append(txn.Ops,
+		Op{Key: 2 * p, Write: true, Delta: 1},
+		Op{Key: 2*p + 1, Write: true, Delta: 1},
+	)
+}
+
+func TestSerializablePairReads(t *testing.T) {
+	for _, pol := range policies(2) {
+		pol := pol
+		t.Run(pol.Name(), func(t *testing.T) {
+			store := NewStore(16)
+			e := NewEngine(store, pol)
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			// Writers.
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					r := rand.New(rand.NewSource(seed))
+					ctx := newTxnCtx()
+					var txn Txn
+					gen := &pairGen{pairs: 8}
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						gen.Generate(r, &txn)
+						e.RunTxn(ctx, &txn, 8)
+					}
+				}(int64(w) + 1)
+			}
+			// Readers: verify pair equality on every committed read txn.
+			violations := 0
+			var vmu sync.Mutex
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					r := rand.New(rand.NewSource(seed))
+					ctx := newTxnCtx()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						p := r.Intn(8)
+						txn := Txn{Type: 2, Ops: []Op{
+							{Key: 2 * p, Write: false},
+							{Key: 2*p + 1, Write: false},
+						}}
+						if ok, _ := e.TryTxn(ctx, &txn, 0); ok {
+							if len(ctx.readVals) == 2 && ctx.readVals[0] != ctx.readVals[1] {
+								vmu.Lock()
+								violations++
+								vmu.Unlock()
+							}
+						}
+					}
+				}(int64(w) + 100)
+			}
+			time.Sleep(150 * time.Millisecond)
+			close(stop)
+			wg.Wait()
+			if violations > 0 {
+				t.Fatalf("policy %s: %d serializability violations", pol.Name(), violations)
+			}
+		})
+	}
+}
+
+func TestStaticPolicyActions(t *testing.T) {
+	read := &Features{IsWrite: false, TxnLen: 4}
+	write := &Features{IsWrite: true, TxnLen: 4}
+	if NewSSI().Choose(read) != ActOptimistic || NewSSI().Choose(write) != ActLockWait {
+		t.Fatal("ssi actions wrong")
+	}
+	if NewTwoPL().Choose(read) != ActLockWait || NewTwoPL().Choose(write) != ActLockWait {
+		t.Fatal("2pl actions wrong")
+	}
+	if NewOCC().Choose(write) != ActOptimistic {
+		t.Fatal("occ actions wrong")
+	}
+	if NewNoWait().Choose(read) != ActLockNoWait {
+		t.Fatal("nowait actions wrong")
+	}
+}
+
+func TestLearnedPolicyContentionSensitivity(t *testing.T) {
+	p := NewLearnedPolicy(3)
+	coldRead := &Features{IsWrite: false, OpIdx: 0, TxnLen: 10}
+	coldWrite := &Features{IsWrite: true, OpIdx: 0, TxnLen: 10}
+	hotRead := &Features{IsWrite: false, OpIdx: 1, TxnLen: 10, Contention: 0.95, LockState: 1, Waiters: 4}
+	doomed := &Features{IsWrite: true, OpIdx: 8, TxnLen: 10, Contention: 1, LockState: 1, Waiters: 8, Retries: 3}
+	if a := p.Choose(coldRead); a != ActLockNoWait {
+		t.Fatalf("cold read should take a fail-fast shared latch, got %d", a)
+	}
+	if a := p.Choose(coldWrite); a != ActLockNoWait {
+		t.Fatalf("write should take a fail-fast latch, got %d", a)
+	}
+	if a := p.Choose(hotRead); a != ActLockNoWait {
+		t.Fatalf("hot read should take a fail-fast shared latch, got %d", a)
+	}
+	if a := p.Choose(doomed); a != ActAbortNow {
+		t.Fatalf("doomed retried write should abort early, got %d", a)
+	}
+}
+
+func TestLearnedPolicyRefinementUpdatesWeights(t *testing.T) {
+	p := NewLearnedPolicy(4)
+	p.StartExploring(0.5)
+	before := *p.Snapshot()
+	f := &Features{IsWrite: true, OpIdx: 1, TxnLen: 4, Contention: 0.5}
+	for i := 0; i < 50; i++ {
+		p.Choose(f)
+		p.NoteOutcome(i%2 == 0, time.Millisecond)
+	}
+	after := *p.Snapshot()
+	if before == after {
+		t.Fatal("refinement did not update weights")
+	}
+	// Greedy mode: NoteOutcome is a no-op and Choose takes no locks.
+	p.StopExploring()
+	w := *p.Snapshot()
+	p.NoteOutcome(true, time.Millisecond)
+	if *p.Snapshot() != w {
+		t.Fatal("greedy-mode outcome should not update weights")
+	}
+}
+
+func TestLearnedCloneIndependent(t *testing.T) {
+	p := NewLearnedPolicy(5)
+	c := p.Clone(6)
+	w := *c.Snapshot()
+	w.W[0][0] += 99
+	c.SetWeights(&w)
+	if p.Snapshot().W[0][0] == c.Snapshot().W[0][0] {
+		t.Fatal("clone aliases weights")
+	}
+}
+
+func TestApplyMetaPerturbsModel(t *testing.T) {
+	base := NewLearnedPolicy(7)
+	meta := []float64{0.5, -0.5, 0.2, -0.2, 0.5}
+	cand := applyMeta(base, meta, 8)
+	if cand.Snapshot().B[0] != base.Snapshot().B[0]+0.5 {
+		t.Fatal("bias shift not applied")
+	}
+	if cand.Snapshot().W[0][4] == base.Snapshot().W[0][4] {
+		t.Fatal("contention scale not applied")
+	}
+}
+
+func TestAdapterProducesWorkingPolicy(t *testing.T) {
+	store := NewStore(128)
+	base := NewLearnedPolicy(9)
+	e := NewEngine(store, base)
+	gen := &transferGen{keys: 128, hot: 2}
+	ad := NewAdapter(10)
+	ad.EvalWindow = 10 * time.Millisecond
+	ad.RefineTime = 30 * time.Millisecond
+	ad.Candidates = 3
+	adapted := ad.Adapt(e, gen, 4, base)
+	if adapted == nil {
+		t.Fatal("no adapted policy")
+	}
+	if adapted.exploring.Load() {
+		t.Fatal("adapted policy should be greedy")
+	}
+	// The engine should run fine with the adapted policy.
+	res := e.RunFixed(gen, 4, 200)
+	if res.Commits == 0 {
+		t.Fatal("adapted policy cannot commit")
+	}
+	var total int64
+	for i := 0; i < store.Size(); i++ {
+		total += store.Value(i)
+	}
+	if total != 0 {
+		t.Fatalf("adapted policy broke conservation: %d", total)
+	}
+}
+
+func TestPolyjuiceTableAndTrainer(t *testing.T) {
+	p := NewPolyjuice()
+	f := &Features{TxnType: 0, OpIdx: 0, IsWrite: true, TxnLen: 4}
+	if p.Choose(f) != ActOptimistic {
+		t.Fatal("default action wrong")
+	}
+	p.table[polyKey{0, 0, true}] = ActLockWait
+	if p.Choose(f) != ActLockWait {
+		t.Fatal("table lookup wrong")
+	}
+	c := p.Clone()
+	if c.Choose(f) != ActLockWait {
+		t.Fatal("clone lost table")
+	}
+	c.mutate(rand.New(rand.NewSource(1)), 2, 4, 5)
+	if len(c.table) == 0 {
+		t.Fatal("mutation added nothing")
+	}
+
+	store := NewStore(64)
+	e := NewEngine(store, p)
+	gen := &transferGen{keys: 64, hot: 2}
+	tr := NewPolyjuiceTrainer(1, 4, 2)
+	tr.Interval = 10 * time.Millisecond
+	tr.Population = 3
+	best, tput := tr.EvolveOnce(e, gen, 4, p)
+	if best == nil || tput <= 0 {
+		t.Fatalf("EA produced nothing: %v %v", best, tput)
+	}
+}
+
+func TestRunDurationMode(t *testing.T) {
+	store := NewStore(256)
+	e := NewEngine(store, NewOCC())
+	gen := &transferGen{keys: 256}
+	res := e.Run(gen, 4, 50*time.Millisecond)
+	if res.Commits == 0 || res.Throughput <= 0 {
+		t.Fatalf("duration run: %+v", res)
+	}
+	if res.AbortRate < 0 || res.AbortRate > 1 {
+		t.Fatalf("abort rate: %v", res.AbortRate)
+	}
+}
+
+func TestFeatureEncode(t *testing.T) {
+	f := &Features{IsWrite: true, OpIdx: 5, TxnLen: 10, Contention: 0.7, LockState: 1, Waiters: 10, Retries: 9}
+	dst := make([]float64, FeatureDim)
+	f.Encode(dst)
+	if dst[0] != 1 || dst[1] != 1 || dst[2] != 0.5 || dst[4] != 0.7 {
+		t.Fatalf("encoding wrong: %v", dst)
+	}
+	if dst[6] != 1 || dst[7] != 1 {
+		t.Fatalf("caps not applied: %v", dst)
+	}
+}
+
+func TestRecordLatchSemantics(t *testing.T) {
+	var r Record
+	if !r.TryExclusive() {
+		t.Fatal("free record should latch")
+	}
+	if r.TryExclusive() || r.TryShared() {
+		t.Fatal("latched record should refuse")
+	}
+	r.ReleaseExclusive()
+	if !r.TryShared() || !r.TryShared() {
+		t.Fatal("shared latches should stack")
+	}
+	if r.TryExclusive() {
+		t.Fatal("shared-latched record should refuse exclusive")
+	}
+	r.ReleaseShared()
+	r.ReleaseShared()
+	if !r.ExclusiveWait(100) {
+		t.Fatal("wait on free record should succeed")
+	}
+	if r.ExclusiveWait(100) {
+		t.Fatal("bounded wait should time out")
+	}
+	r.ReleaseExclusive()
+	if r.LockState() != 0 {
+		t.Fatal("lock state wrong")
+	}
+	// Optimistic read interacts with the latch.
+	if _, _, ok := r.ReadOptimistic(); !ok {
+		t.Fatal("optimistic read on free record should succeed")
+	}
+	r.TryExclusive()
+	if _, _, ok := r.ReadOptimistic(); ok {
+		t.Fatal("optimistic read under exclusive latch should fail")
+	}
+	r.ReleaseExclusive()
+	// Conflict EWMA.
+	r.NoteConflict()
+	c1 := r.Contention()
+	if c1 <= 0 {
+		t.Fatal("conflict not recorded")
+	}
+	for i := 0; i < 100; i++ {
+		r.DecayConflict()
+	}
+	if r.Contention() >= c1 {
+		t.Fatal("conflict did not decay")
+	}
+}

@@ -1,0 +1,50 @@
+package cc
+
+import "time"
+
+// StaticPolicy applies a fixed action mapping — the classical algorithms.
+type StaticPolicy struct {
+	name        string
+	readAction  Action
+	writeAction Action
+}
+
+// Name implements Policy.
+func (p *StaticPolicy) Name() string { return p.name }
+
+// Choose implements Policy.
+func (p *StaticPolicy) Choose(f *Features) Action {
+	if f.IsWrite {
+		return p.writeAction
+	}
+	return p.readAction
+}
+
+// NoteOutcome implements Policy (no-op).
+func (p *StaticPolicy) NoteOutcome(bool, time.Duration) {}
+
+// NewSSI builds the snapshot-style baseline standing in for PostgreSQL's
+// serializable snapshot isolation in Fig. 7(a): reads run against the
+// snapshot without locks (validated at commit — the rw-antidependency
+// check's effect), writes take their locks eagerly with waiting
+// (first-updater-wins blocks the second updater).
+func NewSSI() Policy {
+	return &StaticPolicy{name: "ssi", readAction: ActOptimistic, writeAction: ActLockWait}
+}
+
+// NewTwoPL is strict two-phase locking: shared read locks, exclusive write
+// locks, all held to commit, bounded-wait deadlock breaking.
+func NewTwoPL() Policy {
+	return &StaticPolicy{name: "2pl", readAction: ActLockWait, writeAction: ActLockWait}
+}
+
+// NewOCC is Silo-style optimistic concurrency control: versioned reads,
+// write locks deferred to commit, validation before install.
+func NewOCC() Policy {
+	return &StaticPolicy{name: "occ", readAction: ActOptimistic, writeAction: ActOptimistic}
+}
+
+// NewNoWait is 2PL with no-wait conflict handling (abort instead of block).
+func NewNoWait() Policy {
+	return &StaticPolicy{name: "nowait", readAction: ActLockNoWait, writeAction: ActLockNoWait}
+}

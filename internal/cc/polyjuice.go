@@ -1,0 +1,143 @@
+package cc
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// PolyjuicePolicy is the baseline from Wang et al. (OSDI'21): a policy
+// table mapping (transaction type, operation index) to an action, trained
+// offline by an evolutionary algorithm. It captures Polyjuice's key design
+// — per-access learned actions indexed by static transaction structure —
+// and therefore also its key weakness under drift: the table has no live
+// contention input, so a workload shift requires re-running generations of
+// full-interval evaluations before behaviour improves (Fig. 7b).
+type PolyjuicePolicy struct {
+	mu    sync.RWMutex
+	table map[polyKey]Action
+	def   Action
+}
+
+type polyKey struct {
+	txnType int
+	opIdx   int
+	isWrite bool
+}
+
+// NewPolyjuice creates a policy table with OCC-ish defaults.
+func NewPolyjuice() *PolyjuicePolicy {
+	return &PolyjuicePolicy{table: make(map[polyKey]Action), def: ActOptimistic}
+}
+
+// Name implements Policy.
+func (p *PolyjuicePolicy) Name() string { return "polyjuice" }
+
+// Choose implements Policy: a pure table lookup — no contention features.
+func (p *PolyjuicePolicy) Choose(f *Features) Action {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if a, ok := p.table[polyKey{f.TxnType, f.OpIdx, f.IsWrite}]; ok {
+		return a
+	}
+	return p.def
+}
+
+// NoteOutcome implements Policy (the EA learns between intervals, not per
+// transaction).
+func (p *PolyjuicePolicy) NoteOutcome(bool, time.Duration) {}
+
+// Clone deep-copies the table.
+func (p *PolyjuicePolicy) Clone() *PolyjuicePolicy {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	c := NewPolyjuice()
+	c.def = p.def
+	for k, v := range p.table {
+		c.table[k] = v
+	}
+	return c
+}
+
+// mutate randomly flips actions for a few keys.
+func (p *PolyjuicePolicy) mutate(r *rand.Rand, txnTypes, maxOps, flips int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := 0; i < flips; i++ {
+		k := polyKey{
+			txnType: r.Intn(txnTypes),
+			opIdx:   r.Intn(maxOps),
+			isWrite: r.Intn(2) == 0,
+		}
+		// Abort-now is rarely useful in a static table; bias against it the
+		// way Polyjuice's action space does (it has no early-abort).
+		p.table[k] = Action(r.Intn(int(ActAbortNow)))
+	}
+}
+
+// PolyjuiceTrainer runs the evolutionary algorithm: evaluate a population of
+// policy tables over live intervals, keep the elite, mutate.
+type PolyjuiceTrainer struct {
+	Population int
+	Interval   time.Duration
+	TxnTypes   int
+	MaxOps     int
+	rng        *rand.Rand
+}
+
+// NewPolyjuiceTrainer creates a trainer.
+func NewPolyjuiceTrainer(txnTypes, maxOps int, seed int64) *PolyjuiceTrainer {
+	return &PolyjuiceTrainer{
+		Population: 6,
+		Interval:   30 * time.Millisecond,
+		TxnTypes:   txnTypes,
+		MaxOps:     maxOps,
+		rng:        rand.New(rand.NewSource(seed)),
+	}
+}
+
+// EvolveOnce runs one EA generation against live traffic and installs the
+// best policy. It returns the winner and its measured throughput.
+func (t *PolyjuiceTrainer) EvolveOnce(e *Engine, gen Generator, threads int, base *PolyjuicePolicy) (*PolyjuicePolicy, float64) {
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			ctx := newTxnCtx()
+			var txn Txn
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				gen.Generate(r, &txn)
+				e.RunTxn(ctx, &txn, 8)
+			}
+		}(int64(w) + 17)
+	}
+	measure := func(p Policy) float64 {
+		e.SetPolicy(p)
+		e.ResetStats()
+		time.Sleep(t.Interval)
+		commits, _ := e.Stats()
+		return float64(commits) / t.Interval.Seconds()
+	}
+	best := base
+	bestScore := measure(base)
+	for i := 0; i < t.Population-1; i++ {
+		cand := best.Clone()
+		cand.mutate(t.rng, t.TxnTypes, t.MaxOps, 1+t.rng.Intn(3))
+		score := measure(cand)
+		if score > bestScore {
+			best, bestScore = cand, score
+		}
+	}
+	e.SetPolicy(best)
+	close(stop)
+	wg.Wait()
+	return best, bestScore
+}

@@ -1,0 +1,291 @@
+package executor
+
+import (
+	"fmt"
+	"math/rand"
+
+	"neurdb/internal/aiengine"
+	"neurdb/internal/armnet"
+	"neurdb/internal/catalog"
+	"neurdb/internal/models"
+	"neurdb/internal/nn"
+	"neurdb/internal/rel"
+)
+
+// PredictTask is a bound PREDICT statement: the executor's AI operators
+// (train / inference / fine-tune, Fig. 1) run it against the AI engine.
+type PredictTask struct {
+	Table          *catalog.Table
+	TargetIdx      int
+	FeatureIdxs    []int
+	Classification bool
+	TrainFilter    rel.Expr  // WITH clause; nil = all rows with non-null target
+	PredictFilter  rel.Expr  // WHERE clause; nil with no VALUES = rows with null target
+	InlineRows     []rel.Row // VALUES rows, in FeatureIdxs order
+	ModelName      string
+	BatchSize      int
+	Window         int
+	LR             float64
+	// Epochs repeats the training data with per-epoch reshuffling; 0 picks
+	// an adaptive count targeting a fixed optimization-step budget.
+	Epochs          int
+	BucketsPerField int
+	EmbDim, Hidden  int
+}
+
+// PredictResult reports a completed PREDICT.
+type PredictResult struct {
+	Predictions []float64
+	Inputs      []rel.Row
+	Train       *aiengine.TrainOutcome
+	MID         int
+	TS          uint64
+	Reused      bool // true when an existing model view was fine-tuned
+}
+
+// fieldCodec featurizes one column into bucket ids with a stable mapping
+// snapshotted at task start.
+type fieldCodec struct {
+	isNumeric bool
+	min, max  float64
+	buckets   int
+}
+
+func (c fieldCodec) encode(v rel.Value) int {
+	if !c.isNumeric || v.Typ == rel.TypeText {
+		return int(v.Hash() % uint64(c.buckets))
+	}
+	f := v.AsFloat()
+	span := c.max - c.min
+	if span <= 0 {
+		return 0
+	}
+	b := int((f - c.min) / span * float64(c.buckets))
+	if b < 0 {
+		b = 0
+	}
+	if b >= c.buckets {
+		b = c.buckets - 1
+	}
+	return b
+}
+
+// buildCodecs snapshots per-feature featurization from table statistics.
+func buildCodecs(t *catalog.Table, featureIdxs []int, buckets int) []fieldCodec {
+	out := make([]fieldCodec, len(featureIdxs))
+	for i, col := range featureIdxs {
+		cs := t.Stats.Col(col)
+		typ := t.Schema.Col(col).Typ
+		out[i] = fieldCodec{
+			isNumeric: typ == rel.TypeInt || typ == rel.TypeFloat || typ == rel.TypeBool,
+			min:       cs.Min,
+			max:       cs.Max,
+			buckets:   buckets,
+		}
+		if cs.Count == 0 {
+			// No statistics yet: hash everything.
+			out[i].isNumeric = false
+		}
+	}
+	return out
+}
+
+// chunkSource yields fixed-size row batches from a slice for a number of
+// epochs, reshuffling between epochs.
+type chunkSource struct {
+	rows   []rel.Row
+	size   int
+	pos    int
+	epochs int
+	rng    *rand.Rand
+}
+
+// Next implements aiengine.RowBatchSource.
+func (c *chunkSource) Next() ([]rel.Row, bool) {
+	if c.pos >= len(c.rows) {
+		if c.epochs <= 1 {
+			return nil, false
+		}
+		c.epochs--
+		c.pos = 0
+		if c.rng != nil {
+			c.rng.Shuffle(len(c.rows), func(i, j int) {
+				c.rows[i], c.rows[j] = c.rows[j], c.rows[i]
+			})
+		}
+	}
+	end := c.pos + c.size
+	if end > len(c.rows) {
+		end = len(c.rows)
+	}
+	chunk := c.rows[c.pos:end]
+	c.pos = end
+	return chunk, true
+}
+
+// RunPredict executes a PREDICT task end to end: retrieve training data,
+// train (or fine-tune an existing model view), then run inference and
+// return predictions.
+func RunPredict(ctx *Ctx, eng *aiengine.Engine, task PredictTask) (*PredictResult, error) {
+	if task.BatchSize <= 0 {
+		task.BatchSize = 128
+	}
+	if task.Window <= 0 {
+		task.Window = 8
+	}
+	if task.LR <= 0 {
+		task.LR = 0.02
+	}
+	if task.BucketsPerField <= 0 {
+		task.BucketsPerField = 32
+	}
+	if task.EmbDim <= 0 {
+		task.EmbDim = 8
+	}
+	if task.Hidden <= 0 {
+		task.Hidden = 32
+	}
+	if len(task.FeatureIdxs) == 0 {
+		return nil, fmt.Errorf("executor: predict with no feature columns")
+	}
+
+	// 1. Training data: rows with a non-null target passing the WITH filter.
+	all := ScanAll(ctx, task.Table)
+	var trainRows []rel.Row
+	for _, row := range all {
+		if row[task.TargetIdx].IsNull() {
+			continue
+		}
+		if task.TrainFilter != nil && !task.TrainFilter.Eval(row).AsBool() {
+			continue
+		}
+		trainRows = append(trainRows, row)
+	}
+	if len(trainRows) == 0 {
+		return nil, fmt.Errorf("executor: predict has no training rows in %s", task.Table.Name)
+	}
+
+	codecs := buildCodecs(task.Table, task.FeatureIdxs, task.BucketsPerField)
+	fields := len(task.FeatureIdxs)
+	vocab := fields * task.BucketsPerField
+	featurize := func(rows []rel.Row) (*nn.Matrix, *nn.Matrix) {
+		x := nn.NewMatrix(len(rows), fields)
+		y := nn.NewMatrix(len(rows), 1)
+		for i, row := range rows {
+			for f, col := range task.FeatureIdxs {
+				x.Set(i, f, float64(f*task.BucketsPerField+codecs[f].encode(row[col])))
+			}
+			tv := row[task.TargetIdx].AsFloat()
+			if task.Classification && tv > 0.5 {
+				tv = 1
+			} else if task.Classification {
+				tv = 0
+			}
+			y.Set(i, 0, tv)
+		}
+		return x, y
+	}
+	// Inline VALUES rows are already in feature order.
+	featurizeInline := func(rows []rel.Row) *nn.Matrix {
+		x := nn.NewMatrix(len(rows), fields)
+		for i, row := range rows {
+			for f := range task.FeatureIdxs {
+				if f < len(row) {
+					x.Set(i, f, float64(f*task.BucketsPerField+codecs[f].encode(row[f])))
+				}
+			}
+		}
+		return x
+	}
+
+	spec := models.Spec{
+		Arch: "armnet", Fields: fields, Vocab: vocab,
+		EmbDim: task.EmbDim, Hidden: task.Hidden,
+		Classification: task.Classification, Seed: 42,
+	}
+
+	epochs := task.Epochs
+	if epochs <= 0 {
+		// Target ~60 optimization steps for small datasets.
+		stepsPerEpoch := (len(trainRows) + task.BatchSize - 1) / task.BatchSize
+		epochs = 60/maxInt(stepsPerEpoch, 1) + 1
+		if epochs > 40 {
+			epochs = 40
+		}
+	}
+	shuffled := make([]rel.Row, len(trainRows))
+	copy(shuffled, trainRows)
+	res := &PredictResult{}
+	loader := aiengine.NewStreamingLoader(&chunkSource{
+		rows: shuffled, size: task.BatchSize, epochs: epochs,
+		rng: rand.New(rand.NewSource(7)),
+	}, featurize, task.Window)
+	if view, ok := eng.Store.FindViewByName(task.ModelName); ok && task.ModelName != "" {
+		// Incremental path: fine-tune the existing model on fresh data.
+		out, err := eng.FineTune(view.MID, 0, armnet.FreezePrefixLayers, task.LR, loader)
+		if err != nil {
+			return nil, err
+		}
+		res.Train = out
+		res.MID, res.TS = out.MID, out.TS
+		res.Reused = true
+	} else {
+		out, err := eng.Train(spec, aiengine.TrainConfig{
+			Name: task.ModelName, BatchSize: task.BatchSize,
+			Window: task.Window, LR: task.LR,
+		}, loader)
+		if err != nil {
+			return nil, err
+		}
+		res.Train = out
+		res.MID, res.TS = out.MID, out.TS
+	}
+
+	// 2. Inference inputs.
+	var inferX *nn.Matrix
+	if len(task.InlineRows) > 0 {
+		res.Inputs = task.InlineRows
+		inferX = featurizeInline(task.InlineRows)
+	} else {
+		for _, row := range all {
+			match := false
+			if task.PredictFilter != nil {
+				match = task.PredictFilter.Eval(row).AsBool()
+			} else {
+				match = row[task.TargetIdx].IsNull()
+			}
+			if match {
+				res.Inputs = append(res.Inputs, row)
+			}
+		}
+		if len(res.Inputs) == 0 {
+			// Nothing to predict: the task degenerates to model training.
+			return res, nil
+		}
+		x, _ := featurize(res.Inputs)
+		inferX = x
+	}
+	batches := make([]*aiengine.Batch, 0, inferX.Rows/task.BatchSize+1)
+	for start := 0; start < inferX.Rows; start += task.BatchSize {
+		end := start + task.BatchSize
+		if end > inferX.Rows {
+			end = inferX.Rows
+		}
+		sub := nn.NewMatrix(end-start, inferX.Cols)
+		copy(sub.Data, inferX.Data[start*inferX.Cols:end*inferX.Cols])
+		batches = append(batches, &aiengine.Batch{X: sub})
+	}
+	preds, err := eng.Infer(res.MID, 0, &aiengine.SliceSource{Batches: batches})
+	if err != nil {
+		return nil, err
+	}
+	res.Predictions = preds
+	return res, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,124 @@
+package executor
+
+import (
+	"fmt"
+
+	"neurdb/internal/catalog"
+	"neurdb/internal/rel"
+	"neurdb/internal/storage"
+)
+
+// InsertRow inserts one row into a table within the context transaction,
+// maintaining indexes and statistics.
+func InsertRow(ctx *Ctx, t *catalog.Table, row rel.Row) (storage.RowID, error) {
+	if len(row) != t.Schema.Arity() {
+		return storage.RowID{}, fmt.Errorf("executor: insert arity %d into %s%s", len(row), t.Name, t.Schema)
+	}
+	for i, col := range t.Schema.Cols {
+		if col.NotNull && row[i].IsNull() {
+			return storage.RowID{}, fmt.Errorf("executor: null value in NOT NULL column %s.%s", t.Name, col.Name)
+		}
+	}
+	id, err := ctx.Mgr.Insert(t.Heap, row, ctx.Txn)
+	if err != nil {
+		return storage.RowID{}, err
+	}
+	for _, ix := range t.Indexes() {
+		ix.Insert(row[ix.Col], id)
+	}
+	t.Stats.NoteInsert(row)
+	return id, nil
+}
+
+// UpdateWhere updates rows matching the (possibly nil) predicate, setting
+// columns via the given expressions (evaluated against the old row). It
+// returns the number of rows updated.
+func UpdateWhere(ctx *Ctx, t *catalog.Table, set map[int]rel.Expr, where rel.Expr) (int, error) {
+	type pending struct {
+		id       storage.RowID
+		old, new rel.Row
+	}
+	var todo []pending
+	cursor := t.Heap.NewCursor()
+	for {
+		id, head, ok := cursor.Next()
+		if !ok {
+			break
+		}
+		row, visible := ctx.Mgr.ReadHead(t.ID, id, head, ctx.Txn)
+		if !visible {
+			continue
+		}
+		if where != nil && !where.Eval(row).AsBool() {
+			continue
+		}
+		newRow := row.Clone()
+		for col, e := range set {
+			newRow[col] = e.Eval(row)
+		}
+		todo = append(todo, pending{id: id, old: row, new: newRow})
+	}
+	for _, p := range todo {
+		if err := ctx.Mgr.Update(t.Heap, p.id, p.new, ctx.Txn); err != nil {
+			return 0, err
+		}
+		for _, ix := range t.Indexes() {
+			if !rel.Equal(p.old[ix.Col], p.new[ix.Col]) {
+				// Lazy maintenance: add the new key; stale postings for the
+				// old key are filtered by visibility + recheck on scan.
+				ix.Insert(p.new[ix.Col], p.id)
+			}
+		}
+		t.Stats.NoteUpdate(p.old, p.new)
+	}
+	return len(todo), nil
+}
+
+// DeleteWhere deletes rows matching the (possibly nil) predicate, returning
+// the number of rows deleted.
+func DeleteWhere(ctx *Ctx, t *catalog.Table, where rel.Expr) (int, error) {
+	type pending struct {
+		id  storage.RowID
+		row rel.Row
+	}
+	var todo []pending
+	cursor := t.Heap.NewCursor()
+	for {
+		id, head, ok := cursor.Next()
+		if !ok {
+			break
+		}
+		row, visible := ctx.Mgr.ReadHead(t.ID, id, head, ctx.Txn)
+		if !visible {
+			continue
+		}
+		if where != nil && !where.Eval(row).AsBool() {
+			continue
+		}
+		todo = append(todo, pending{id: id, row: row})
+	}
+	for _, p := range todo {
+		if err := ctx.Mgr.Delete(t.Heap, p.id, ctx.Txn); err != nil {
+			return 0, err
+		}
+		t.Stats.NoteDelete(p.row)
+	}
+	return len(todo), nil
+}
+
+// ScanAll returns every row visible to the context transaction (ANALYZE and
+// AI training-data extraction use this).
+func ScanAll(ctx *Ctx, t *catalog.Table) []rel.Row {
+	var out []rel.Row
+	cursor := t.Heap.NewCursor()
+	for {
+		id, head, ok := cursor.Next()
+		if !ok {
+			return out
+		}
+		row, visible := ctx.Mgr.ReadHead(t.ID, id, head, ctx.Txn)
+		if visible {
+			out = append(out, row)
+		}
+	}
+}

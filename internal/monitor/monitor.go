@@ -1,0 +1,245 @@
+// Package monitor implements the system monitor of Fig. 1: sliding-window
+// metric tracking (throughput, latency, loss, abort rate), drift detection
+// (Page-Hinkley and relative-change tests), and trigger callbacks that kick
+// off model adaptation — fine-tuning for analytics models, two-phase
+// adaptation for learned CC, and condition refresh for the learned
+// optimizer.
+package monitor
+
+import (
+	"math"
+	"sync"
+)
+
+// Window is a fixed-size sliding window over float64 observations.
+type Window struct {
+	mu   sync.Mutex
+	buf  []float64
+	size int
+	pos  int
+	full bool
+	sum  float64
+	sum2 float64
+}
+
+// NewWindow creates a window holding up to size observations.
+func NewWindow(size int) *Window {
+	if size < 1 {
+		size = 1
+	}
+	return &Window{buf: make([]float64, size), size: size}
+}
+
+// Add records an observation.
+func (w *Window) Add(x float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.full {
+		old := w.buf[w.pos]
+		w.sum -= old
+		w.sum2 -= old * old
+	}
+	w.buf[w.pos] = x
+	w.sum += x
+	w.sum2 += x * x
+	w.pos++
+	if w.pos == w.size {
+		w.pos = 0
+		w.full = true
+	}
+}
+
+// Len returns the number of stored observations.
+func (w *Window) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lenLocked()
+}
+
+func (w *Window) lenLocked() int {
+	if w.full {
+		return w.size
+	}
+	return w.pos
+}
+
+// Mean returns the window mean (0 when empty).
+func (w *Window) Mean() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := w.lenLocked()
+	if n == 0 {
+		return 0
+	}
+	return w.sum / float64(n)
+}
+
+// Std returns the window standard deviation.
+func (w *Window) Std() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := float64(w.lenLocked())
+	if n < 2 {
+		return 0
+	}
+	mean := w.sum / n
+	v := w.sum2/n - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// PageHinkley is the Page-Hinkley sequential drift detector: it signals when
+// the cumulative deviation of a stream below its running mean exceeds a
+// threshold — the standard online test for loss/throughput regressions.
+type PageHinkley struct {
+	mu        sync.Mutex
+	Delta     float64 // tolerated deviation
+	Lambda    float64 // detection threshold
+	n         float64
+	mean      float64
+	cumDev    float64
+	minCumDev float64
+}
+
+// NewPageHinkley creates a detector. Typical values: delta small relative to
+// signal noise, lambda ~ several deltas.
+func NewPageHinkley(delta, lambda float64) *PageHinkley {
+	return &PageHinkley{Delta: delta, Lambda: lambda}
+}
+
+// Add feeds an observation; it returns true when drift is detected, after
+// which the detector resets.
+func (p *PageHinkley) Add(x float64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.n++
+	p.mean += (x - p.mean) / p.n
+	p.cumDev += x - p.mean - p.Delta
+	if p.cumDev < p.minCumDev {
+		p.minCumDev = p.cumDev
+	}
+	if p.cumDev-p.minCumDev > p.Lambda {
+		p.reset()
+		return true
+	}
+	return false
+}
+
+func (p *PageHinkley) reset() {
+	p.n = 0
+	p.mean = 0
+	p.cumDev = 0
+	p.minCumDev = 0
+}
+
+// Event identifies a detected condition.
+type Event struct {
+	Series string
+	Kind   string // "drift", "drop", "spike"
+	Value  float64
+}
+
+// Tracker maintains named metric series with drift/drop detection and
+// invokes registered triggers — the monitor's "notify the AI engine to
+// fine-tune" pathway.
+type Tracker struct {
+	mu        sync.Mutex
+	windows   map[string]*Window
+	baselines map[string]float64
+	ph        map[string]*PageHinkley
+	triggers  []func(Event)
+	// DropRatio fires a "drop" event when the current window mean falls
+	// below baseline*DropRatio (for throughput-like series).
+	DropRatio float64
+	// SpikeRatio fires a "spike" event when the mean exceeds
+	// baseline*SpikeRatio (for loss/latency-like series).
+	SpikeRatio float64
+}
+
+// NewTracker creates a tracker with default thresholds.
+func NewTracker() *Tracker {
+	return &Tracker{
+		windows:    make(map[string]*Window),
+		baselines:  make(map[string]float64),
+		ph:         make(map[string]*PageHinkley),
+		DropRatio:  0.7,
+		SpikeRatio: 1.5,
+	}
+}
+
+// OnEvent registers a trigger callback.
+func (t *Tracker) OnEvent(f func(Event)) {
+	t.mu.Lock()
+	t.triggers = append(t.triggers, f)
+	t.mu.Unlock()
+}
+
+// SetBaseline fixes the reference level for a series (e.g. steady-state
+// throughput after warmup).
+func (t *Tracker) SetBaseline(series string, v float64) {
+	t.mu.Lock()
+	t.baselines[series] = v
+	t.mu.Unlock()
+}
+
+// Baseline returns the current baseline for a series.
+func (t *Tracker) Baseline(series string) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.baselines[series]
+}
+
+// Observe records a value for a series, running all detectors.
+func (t *Tracker) Observe(series string, v float64) {
+	t.mu.Lock()
+	w, ok := t.windows[series]
+	if !ok {
+		w = NewWindow(16)
+		t.windows[series] = w
+	}
+	d, ok := t.ph[series]
+	if !ok {
+		d = NewPageHinkley(0.005, 0.1)
+		t.ph[series] = d
+	}
+	base := t.baselines[series]
+	triggers := t.triggers
+	dropRatio, spikeRatio := t.DropRatio, t.SpikeRatio
+	t.mu.Unlock()
+
+	w.Add(v)
+	mean := w.Mean()
+	var events []Event
+	if base > 0 && w.Len() >= 4 {
+		if mean < base*dropRatio {
+			events = append(events, Event{Series: series, Kind: "drop", Value: mean})
+		}
+		if mean > base*spikeRatio {
+			events = append(events, Event{Series: series, Kind: "spike", Value: mean})
+		}
+	}
+	// Page-Hinkley on the negated signal detects downward drift for
+	// throughput-like series; feed the raw value for loss-like series by
+	// convention of the caller (drop vs spike separation happens above).
+	if d.Add(-v) {
+		events = append(events, Event{Series: series, Kind: "drift", Value: v})
+	}
+	for _, e := range events {
+		for _, f := range triggers {
+			f(e)
+		}
+	}
+}
+
+// Mean returns the sliding mean of a series (0 if unknown).
+func (t *Tracker) Mean(series string) float64 {
+	t.mu.Lock()
+	w := t.windows[series]
+	t.mu.Unlock()
+	if w == nil {
+		return 0
+	}
+	return w.Mean()
+}

@@ -1,0 +1,132 @@
+package monitor
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestWindowStats(t *testing.T) {
+	w := NewWindow(4)
+	if w.Mean() != 0 || w.Std() != 0 || w.Len() != 0 {
+		t.Fatal("empty window stats wrong")
+	}
+	for _, v := range []float64{1, 2, 3, 4} {
+		w.Add(v)
+	}
+	if w.Mean() != 2.5 || w.Len() != 4 {
+		t.Fatalf("mean=%v len=%d", w.Mean(), w.Len())
+	}
+	// Sliding: adding 5,6 evicts 1,2 → mean of {3,4,5,6} = 4.5
+	w.Add(5)
+	w.Add(6)
+	if w.Mean() != 4.5 {
+		t.Fatalf("sliding mean = %v", w.Mean())
+	}
+	if math.Abs(w.Std()-math.Sqrt(1.25)) > 1e-9 {
+		t.Fatalf("std = %v", w.Std())
+	}
+	// Degenerate size.
+	w1 := NewWindow(0)
+	w1.Add(7)
+	if w1.Mean() != 7 {
+		t.Fatal("size-clamped window broken")
+	}
+}
+
+func TestPageHinkleyDetectsDownwardShift(t *testing.T) {
+	// Feed a steady stream, then shift down; detector watches -x so a drop
+	// in x is an increase in -x deviations.
+	ph := NewPageHinkley(0.01, 0.5)
+	detected := false
+	for i := 0; i < 200; i++ {
+		x := 1.0
+		if i >= 100 {
+			x = 0.5
+		}
+		if ph.Add(-x) {
+			detected = true
+			if i < 100 {
+				t.Fatalf("false positive at %d", i)
+			}
+			break
+		}
+	}
+	if !detected {
+		t.Fatal("shift not detected")
+	}
+}
+
+func TestPageHinkleyStableStreamNoFalsePositive(t *testing.T) {
+	ph := NewPageHinkley(0.05, 2.0)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		if ph.Add(1 + r.NormFloat64()*0.01) {
+			t.Fatalf("false positive at %d", i)
+		}
+	}
+}
+
+func TestTrackerDropTrigger(t *testing.T) {
+	tr := NewTracker()
+	var mu sync.Mutex
+	var events []Event
+	tr.OnEvent(func(e Event) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	})
+	tr.SetBaseline("tps", 100)
+	if tr.Baseline("tps") != 100 {
+		t.Fatal("baseline lost")
+	}
+	for i := 0; i < 8; i++ {
+		tr.Observe("tps", 100)
+	}
+	mu.Lock()
+	n := len(events)
+	mu.Unlock()
+	if n != 0 {
+		t.Fatalf("steady state should not trigger, got %v", events)
+	}
+	for i := 0; i < 16; i++ {
+		tr.Observe("tps", 40)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	found := false
+	for _, e := range events {
+		if e.Series == "tps" && e.Kind == "drop" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("drop not detected: %v", events)
+	}
+	if tr.Mean("tps") > 60 {
+		t.Fatalf("mean = %v", tr.Mean("tps"))
+	}
+	if tr.Mean("unknown") != 0 {
+		t.Fatal("unknown series mean should be 0")
+	}
+}
+
+func TestTrackerSpikeTrigger(t *testing.T) {
+	tr := NewTracker()
+	var events []Event
+	tr.OnEvent(func(e Event) { events = append(events, e) })
+	tr.SetBaseline("loss", 0.2)
+	for i := 0; i < 16; i++ {
+		tr.Observe("loss", 0.9)
+	}
+	found := false
+	for _, e := range events {
+		if e.Kind == "spike" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("spike not detected: %v", events)
+	}
+}

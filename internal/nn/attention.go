@@ -1,0 +1,210 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MultiHeadAttention is scaled dot-product self-attention over a sequence.
+// Input and output are [seq, Dim] matrices; batches of sequences are looped
+// externally, which conveniently supports variable-length plan trees.
+// This is the "multi-head attention" block of the paper's analyzer module.
+type MultiHeadAttention struct {
+	Dim, Heads     int
+	Wq, Wk, Wv, Wo *Param
+
+	lastX        *Matrix
+	lastQ, lastK *Matrix
+	lastV, lastO *Matrix
+	lastAttn     []*Matrix // one [n,n] attention matrix per head
+}
+
+// NewMultiHeadAttention creates an attention block; dim must be divisible by
+// heads.
+func NewMultiHeadAttention(dim, heads int, r *rand.Rand) *MultiHeadAttention {
+	if dim%heads != 0 {
+		panic(fmt.Sprintf("nn: attention dim %d not divisible by heads %d", dim, heads))
+	}
+	std := math.Sqrt(2.0 / float64(2*dim))
+	return &MultiHeadAttention{
+		Dim:   dim,
+		Heads: heads,
+		Wq:    NewParam("Wq", Randn(dim, dim, std, r)),
+		Wk:    NewParam("Wk", Randn(dim, dim, std, r)),
+		Wv:    NewParam("Wv", Randn(dim, dim, std, r)),
+		Wo:    NewParam("Wo", Randn(dim, dim, std, r)),
+	}
+}
+
+// headView extracts the columns of head h as an n×dh matrix copy.
+func headView(m *Matrix, h, dh int) *Matrix {
+	out := NewMatrix(m.Rows, dh)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i)[h*dh:(h+1)*dh])
+	}
+	return out
+}
+
+// headWrite adds src (n×dh) into the columns of head h of dst.
+func headWrite(dst, src *Matrix, h, dh int) {
+	for i := 0; i < src.Rows; i++ {
+		drow := dst.Row(i)[h*dh : (h+1)*dh]
+		srow := src.Row(i)
+		for j, v := range srow {
+			drow[j] += v
+		}
+	}
+}
+
+// Forward implements Module.
+func (a *MultiHeadAttention) Forward(x *Matrix) *Matrix {
+	a.lastX = x
+	a.lastQ = MatMul(x, a.Wq.W)
+	a.lastK = MatMul(x, a.Wk.W)
+	a.lastV = MatMul(x, a.Wv.W)
+	dh := a.Dim / a.Heads
+	scale := 1 / math.Sqrt(float64(dh))
+	a.lastAttn = make([]*Matrix, a.Heads)
+	o := NewMatrix(x.Rows, a.Dim)
+	for h := 0; h < a.Heads; h++ {
+		qh := headView(a.lastQ, h, dh)
+		kh := headView(a.lastK, h, dh)
+		vh := headView(a.lastV, h, dh)
+		scores := Scale(MatMulBT(qh, kh), scale)
+		attn := SoftmaxRows(scores)
+		a.lastAttn[h] = attn
+		headWrite(o, MatMul(attn, vh), h, dh)
+	}
+	a.lastO = o
+	return MatMul(o, a.Wo.W)
+}
+
+// Backward implements Module.
+func (a *MultiHeadAttention) Backward(dy *Matrix) *Matrix {
+	AddInPlace(a.Wo.Grad, MatMulAT(a.lastO, dy))
+	do := MatMulBT(dy, a.Wo.W)
+	dh := a.Dim / a.Heads
+	scale := 1 / math.Sqrt(float64(dh))
+	dq := NewMatrix(a.lastQ.Rows, a.Dim)
+	dk := NewMatrix(a.lastK.Rows, a.Dim)
+	dv := NewMatrix(a.lastV.Rows, a.Dim)
+	for h := 0; h < a.Heads; h++ {
+		qh := headView(a.lastQ, h, dh)
+		kh := headView(a.lastK, h, dh)
+		vh := headView(a.lastV, h, dh)
+		doh := headView(do, h, dh)
+		attn := a.lastAttn[h]
+		dAttn := MatMulBT(doh, vh)
+		dVh := MatMulAT(attn, doh)
+		dScores := Scale(SoftmaxBackwardRows(attn, dAttn), scale)
+		dQh := MatMul(dScores, kh)
+		dKh := MatMulAT(dScores, qh)
+		headWrite(dq, dQh, h, dh)
+		headWrite(dk, dKh, h, dh)
+		headWrite(dv, dVh, h, dh)
+	}
+	AddInPlace(a.Wq.Grad, MatMulAT(a.lastX, dq))
+	AddInPlace(a.Wk.Grad, MatMulAT(a.lastX, dk))
+	AddInPlace(a.Wv.Grad, MatMulAT(a.lastX, dv))
+	dx := MatMulBT(dq, a.Wq.W)
+	AddInPlace(dx, MatMulBT(dk, a.Wk.W))
+	AddInPlace(dx, MatMulBT(dv, a.Wv.W))
+	return dx
+}
+
+// Params implements Module.
+func (a *MultiHeadAttention) Params() []*Param {
+	return []*Param{a.Wq, a.Wk, a.Wv, a.Wo}
+}
+
+// CrossAttention attends a query sequence over a separate context sequence
+// (keys/values). It is the fusion block of the paper's learned-optimizer
+// encoder: plan tokens attend over system-condition tokens. It is not a
+// Module because it takes two inputs.
+type CrossAttention struct {
+	Dim, Heads     int
+	Wq, Wk, Wv, Wo *Param
+
+	lastX, lastCtx *Matrix
+	lastQ, lastK   *Matrix
+	lastV, lastO   *Matrix
+	lastAttn       []*Matrix
+}
+
+// NewCrossAttention creates a cross-attention block.
+func NewCrossAttention(dim, heads int, r *rand.Rand) *CrossAttention {
+	if dim%heads != 0 {
+		panic(fmt.Sprintf("nn: cross-attention dim %d not divisible by heads %d", dim, heads))
+	}
+	std := math.Sqrt(2.0 / float64(2*dim))
+	return &CrossAttention{
+		Dim:   dim,
+		Heads: heads,
+		Wq:    NewParam("Wq", Randn(dim, dim, std, r)),
+		Wk:    NewParam("Wk", Randn(dim, dim, std, r)),
+		Wv:    NewParam("Wv", Randn(dim, dim, std, r)),
+		Wo:    NewParam("Wo", Randn(dim, dim, std, r)),
+	}
+}
+
+// ForwardQKV computes cross-attention: queries from x [m,d], keys/values
+// from ctx [n,d]; output is [m,d].
+func (a *CrossAttention) ForwardQKV(x, ctx *Matrix) *Matrix {
+	a.lastX, a.lastCtx = x, ctx
+	a.lastQ = MatMul(x, a.Wq.W)
+	a.lastK = MatMul(ctx, a.Wk.W)
+	a.lastV = MatMul(ctx, a.Wv.W)
+	dh := a.Dim / a.Heads
+	scale := 1 / math.Sqrt(float64(dh))
+	a.lastAttn = make([]*Matrix, a.Heads)
+	o := NewMatrix(x.Rows, a.Dim)
+	for h := 0; h < a.Heads; h++ {
+		qh := headView(a.lastQ, h, dh)
+		kh := headView(a.lastK, h, dh)
+		vh := headView(a.lastV, h, dh)
+		attn := SoftmaxRows(Scale(MatMulBT(qh, kh), scale))
+		a.lastAttn[h] = attn
+		headWrite(o, MatMul(attn, vh), h, dh)
+	}
+	a.lastO = o
+	return MatMul(o, a.Wo.W)
+}
+
+// BackwardQKV propagates gradients to both inputs, returning (dx, dctx).
+func (a *CrossAttention) BackwardQKV(dy *Matrix) (*Matrix, *Matrix) {
+	AddInPlace(a.Wo.Grad, MatMulAT(a.lastO, dy))
+	do := MatMulBT(dy, a.Wo.W)
+	dh := a.Dim / a.Heads
+	scale := 1 / math.Sqrt(float64(dh))
+	dq := NewMatrix(a.lastQ.Rows, a.Dim)
+	dk := NewMatrix(a.lastK.Rows, a.Dim)
+	dv := NewMatrix(a.lastV.Rows, a.Dim)
+	for h := 0; h < a.Heads; h++ {
+		qh := headView(a.lastQ, h, dh)
+		kh := headView(a.lastK, h, dh)
+		vh := headView(a.lastV, h, dh)
+		doh := headView(do, h, dh)
+		attn := a.lastAttn[h]
+		dAttn := MatMulBT(doh, vh)
+		dVh := MatMulAT(attn, doh)
+		dScores := Scale(SoftmaxBackwardRows(attn, dAttn), scale)
+		dQh := MatMul(dScores, kh)
+		dKh := MatMulAT(dScores, qh)
+		headWrite(dq, dQh, h, dh)
+		headWrite(dk, dKh, h, dh)
+		headWrite(dv, dVh, h, dh)
+	}
+	AddInPlace(a.Wq.Grad, MatMulAT(a.lastX, dq))
+	AddInPlace(a.Wk.Grad, MatMulAT(a.lastCtx, dk))
+	AddInPlace(a.Wv.Grad, MatMulAT(a.lastCtx, dv))
+	dx := MatMulBT(dq, a.Wq.W)
+	dctx := MatMulBT(dk, a.Wk.W)
+	AddInPlace(dctx, MatMulBT(dv, a.Wv.W))
+	return dx, dctx
+}
+
+// Params returns the trainable parameters.
+func (a *CrossAttention) Params() []*Param {
+	return []*Param{a.Wq, a.Wk, a.Wv, a.Wo}
+}

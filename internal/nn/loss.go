@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"math"
+	"sort"
+)
+
+// MSELoss returns the mean-squared-error loss over all elements and the
+// gradient w.r.t. pred. Used by PREDICT VALUE OF (regression) tasks.
+func MSELoss(pred, target *Matrix) (float64, *Matrix) {
+	checkSameShape("MSELoss", pred, target)
+	grad := NewMatrix(pred.Rows, pred.Cols)
+	n := float64(len(pred.Data))
+	if n == 0 {
+		return 0, grad
+	}
+	var loss float64
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		loss += d * d
+		grad.Data[i] = 2 * d / n
+	}
+	return loss / n, grad
+}
+
+// BCEWithLogitsLoss returns the mean binary-cross-entropy loss computed from
+// raw logits (numerically stable) and its gradient w.r.t. the logits. Used
+// by PREDICT CLASS OF (binary classification) tasks.
+func BCEWithLogitsLoss(logits, target *Matrix) (float64, *Matrix) {
+	checkSameShape("BCEWithLogitsLoss", logits, target)
+	grad := NewMatrix(logits.Rows, logits.Cols)
+	n := float64(len(logits.Data))
+	if n == 0 {
+		return 0, grad
+	}
+	var loss float64
+	for i := range logits.Data {
+		z, y := logits.Data[i], target.Data[i]
+		// loss = max(z,0) - z*y + log(1+exp(-|z|))
+		loss += math.Max(z, 0) - z*y + math.Log1p(math.Exp(-math.Abs(z)))
+		p := 1 / (1 + math.Exp(-z))
+		grad.Data[i] = (p - y) / n
+	}
+	return loss / n, grad
+}
+
+// SoftmaxCELoss computes softmax cross-entropy per row given integer class
+// labels; returns the mean loss and gradient w.r.t. the logits. Used to
+// train plan-selection (pick the best candidate plan) and the CC decision
+// model's supervised pre-training.
+func SoftmaxCELoss(logits *Matrix, labels []int) (float64, *Matrix) {
+	if len(labels) != logits.Rows {
+		panic("nn: SoftmaxCELoss label count mismatch")
+	}
+	probs := SoftmaxRows(logits)
+	grad := NewMatrix(logits.Rows, logits.Cols)
+	n := float64(logits.Rows)
+	if n == 0 {
+		return 0, grad
+	}
+	var loss float64
+	for i := 0; i < logits.Rows; i++ {
+		p := probs.Row(i)
+		y := labels[i]
+		loss += -math.Log(math.Max(p[y], 1e-12))
+		grow := grad.Row(i)
+		for j, pj := range p {
+			grow[j] = pj / n
+		}
+		grow[y] -= 1 / n
+	}
+	return loss / n, grad
+}
+
+// PairwiseRankLoss is a logistic ranking loss over score pairs: it pushes
+// score(better) above score(worse). Returns the loss and gradients w.r.t.
+// the two scores. Used by the Lero-style pairwise plan comparator.
+func PairwiseRankLoss(better, worse float64) (loss, gBetter, gWorse float64) {
+	d := better - worse
+	loss = math.Log1p(math.Exp(-d))
+	s := 1 / (1 + math.Exp(d)) // sigmoid(-d)
+	return loss, -s, s
+}
+
+// Accuracy computes the fraction of rows whose sigmoid(logit) rounds to the
+// binary target.
+func Accuracy(logits, target *Matrix) float64 {
+	if logits.Rows == 0 {
+		return 0
+	}
+	var correct int
+	for i := range logits.Data {
+		p := 1 / (1 + math.Exp(-logits.Data[i]))
+		pred := 0.0
+		if p >= 0.5 {
+			pred = 1
+		}
+		if pred == target.Data[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(logits.Data))
+}
+
+// AUC computes the area under the ROC curve for binary targets given scores.
+// It is the paper's accuracy metric for CTR-style tasks.
+func AUC(scores []float64, labels []float64) float64 {
+	type pair struct {
+		s float64
+		y float64
+	}
+	pairs := make([]pair, len(scores))
+	var pos, neg float64
+	for i := range scores {
+		pairs[i] = pair{scores[i], labels[i]}
+		if labels[i] >= 0.5 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0.5
+	}
+	// Rank-sum (Mann-Whitney) formulation with midranks for ties.
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].s < pairs[j].s })
+	ranks := make([]float64, len(pairs))
+	for i := 0; i < len(pairs); {
+		j := i
+		for j < len(pairs) && pairs[j].s == pairs[i].s {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average 1-based rank
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		i = j
+	}
+	var sumPos float64
+	for i, p := range pairs {
+		if p.y >= 0.5 {
+			sumPos += ranks[i]
+		}
+	}
+	return (sumPos - pos*(pos+1)/2) / (pos * neg)
+}

@@ -1,0 +1,387 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Param is a trainable parameter tensor with its gradient accumulator.
+// Frozen parameters are skipped by optimizers — the mechanism behind the
+// paper's incremental model update (freeze the prefix, fine-tune the tail).
+type Param struct {
+	Name   string
+	W      *Matrix
+	Grad   *Matrix
+	Frozen bool
+}
+
+// NewParam allocates a parameter with a zeroed gradient.
+func NewParam(name string, w *Matrix) *Param {
+	return &Param{Name: name, W: w, Grad: NewMatrix(w.Rows, w.Cols)}
+}
+
+// Module is a differentiable layer. Forward caches whatever Backward needs;
+// Backward consumes the gradient w.r.t. the output and returns the gradient
+// w.r.t. the input, accumulating parameter gradients along the way.
+type Module interface {
+	Forward(x *Matrix) *Matrix
+	Backward(dy *Matrix) *Matrix
+	Params() []*Param
+}
+
+// TrainAware is implemented by modules whose behaviour differs between
+// training and inference (e.g. Dropout).
+type TrainAware interface {
+	SetTraining(bool)
+}
+
+// Linear is a fully connected layer: y = xW + b.
+type Linear struct {
+	WP, BP *Param
+	lastX  *Matrix
+}
+
+// NewLinear creates a Linear layer with Xavier-style initialization.
+func NewLinear(in, out int, r *rand.Rand) *Linear {
+	std := math.Sqrt(2.0 / float64(in+out))
+	return &Linear{
+		WP: NewParam("W", Randn(in, out, std, r)),
+		BP: NewParam("b", NewMatrix(1, out)),
+	}
+}
+
+// Forward implements Module.
+func (l *Linear) Forward(x *Matrix) *Matrix {
+	l.lastX = x
+	return AddRowVec(MatMul(x, l.WP.W), l.BP.W.Data)
+}
+
+// Backward implements Module.
+func (l *Linear) Backward(dy *Matrix) *Matrix {
+	AddInPlace(l.WP.Grad, MatMulAT(l.lastX, dy))
+	for i := 0; i < dy.Rows; i++ {
+		row := dy.Row(i)
+		for j, v := range row {
+			l.BP.Grad.Data[j] += v
+		}
+	}
+	return MatMulBT(dy, l.WP.W)
+}
+
+// Params implements Module.
+func (l *Linear) Params() []*Param { return []*Param{l.WP, l.BP} }
+
+// ReLU is the rectified linear activation.
+type ReLU struct{ lastX *Matrix }
+
+// Forward implements Module.
+func (l *ReLU) Forward(x *Matrix) *Matrix {
+	l.lastX = x
+	out := NewMatrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Backward implements Module.
+func (l *ReLU) Backward(dy *Matrix) *Matrix {
+	out := NewMatrix(dy.Rows, dy.Cols)
+	for i, v := range l.lastX.Data {
+		if v > 0 {
+			out.Data[i] = dy.Data[i]
+		}
+	}
+	return out
+}
+
+// Params implements Module.
+func (l *ReLU) Params() []*Param { return nil }
+
+// Sigmoid is the logistic activation.
+type Sigmoid struct{ lastY *Matrix }
+
+// Forward implements Module.
+func (l *Sigmoid) Forward(x *Matrix) *Matrix {
+	out := NewMatrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		out.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	l.lastY = out
+	return out
+}
+
+// Backward implements Module.
+func (l *Sigmoid) Backward(dy *Matrix) *Matrix {
+	out := NewMatrix(dy.Rows, dy.Cols)
+	for i, y := range l.lastY.Data {
+		out.Data[i] = dy.Data[i] * y * (1 - y)
+	}
+	return out
+}
+
+// Params implements Module.
+func (l *Sigmoid) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct{ lastY *Matrix }
+
+// Forward implements Module.
+func (l *Tanh) Forward(x *Matrix) *Matrix {
+	out := NewMatrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	l.lastY = out
+	return out
+}
+
+// Backward implements Module.
+func (l *Tanh) Backward(dy *Matrix) *Matrix {
+	out := NewMatrix(dy.Rows, dy.Cols)
+	for i, y := range l.lastY.Data {
+		out.Data[i] = dy.Data[i] * (1 - y*y)
+	}
+	return out
+}
+
+// Params implements Module.
+func (l *Tanh) Params() []*Param { return nil }
+
+// LayerNorm normalizes each row to zero mean / unit variance and applies a
+// learned affine transform.
+type LayerNorm struct {
+	Gamma, Beta *Param
+	eps         float64
+	lastXHat    *Matrix
+	lastInvStd  []float64
+}
+
+// NewLayerNorm creates a LayerNorm over rows of width dim.
+func NewLayerNorm(dim int) *LayerNorm {
+	g := NewMatrix(1, dim)
+	for i := range g.Data {
+		g.Data[i] = 1
+	}
+	return &LayerNorm{
+		Gamma: NewParam("gamma", g),
+		Beta:  NewParam("beta", NewMatrix(1, dim)),
+		eps:   1e-5,
+	}
+}
+
+// Forward implements Module.
+func (l *LayerNorm) Forward(x *Matrix) *Matrix {
+	out := NewMatrix(x.Rows, x.Cols)
+	l.lastXHat = NewMatrix(x.Rows, x.Cols)
+	l.lastInvStd = make([]float64, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		var mean float64
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(len(row))
+		var varsum float64
+		for _, v := range row {
+			d := v - mean
+			varsum += d * d
+		}
+		invStd := 1 / math.Sqrt(varsum/float64(len(row))+l.eps)
+		l.lastInvStd[i] = invStd
+		xhat := l.lastXHat.Row(i)
+		orow := out.Row(i)
+		for j, v := range row {
+			xhat[j] = (v - mean) * invStd
+			orow[j] = xhat[j]*l.Gamma.W.Data[j] + l.Beta.W.Data[j]
+		}
+	}
+	return out
+}
+
+// Backward implements Module.
+func (l *LayerNorm) Backward(dy *Matrix) *Matrix {
+	out := NewMatrix(dy.Rows, dy.Cols)
+	n := float64(dy.Cols)
+	for i := 0; i < dy.Rows; i++ {
+		dyr := dy.Row(i)
+		xhat := l.lastXHat.Row(i)
+		invStd := l.lastInvStd[i]
+		var sumDxhat, sumDxhatXhat float64
+		dxhat := make([]float64, dy.Cols)
+		for j, g := range dyr {
+			l.Gamma.Grad.Data[j] += g * xhat[j]
+			l.Beta.Grad.Data[j] += g
+			dxhat[j] = g * l.Gamma.W.Data[j]
+			sumDxhat += dxhat[j]
+			sumDxhatXhat += dxhat[j] * xhat[j]
+		}
+		orow := out.Row(i)
+		for j := range dyr {
+			orow[j] = invStd / n * (n*dxhat[j] - sumDxhat - xhat[j]*sumDxhatXhat)
+		}
+	}
+	return out
+}
+
+// Params implements Module.
+func (l *LayerNorm) Params() []*Param { return []*Param{l.Gamma, l.Beta} }
+
+// Dropout zeroes activations with probability p during training and scales
+// the survivors by 1/(1-p).
+type Dropout struct {
+	P        float64
+	rng      *rand.Rand
+	training bool
+	lastMask *Matrix
+}
+
+// NewDropout creates a dropout layer with drop probability p.
+func NewDropout(p float64, r *rand.Rand) *Dropout {
+	return &Dropout{P: p, rng: r, training: true}
+}
+
+// SetTraining implements TrainAware.
+func (l *Dropout) SetTraining(b bool) { l.training = b }
+
+// Forward implements Module.
+func (l *Dropout) Forward(x *Matrix) *Matrix {
+	if !l.training || l.P <= 0 {
+		l.lastMask = nil
+		return x
+	}
+	out := NewMatrix(x.Rows, x.Cols)
+	l.lastMask = NewMatrix(x.Rows, x.Cols)
+	keep := 1 - l.P
+	for i, v := range x.Data {
+		if l.rng.Float64() < keep {
+			l.lastMask.Data[i] = 1 / keep
+			out.Data[i] = v / keep
+		}
+	}
+	return out
+}
+
+// Backward implements Module.
+func (l *Dropout) Backward(dy *Matrix) *Matrix {
+	if l.lastMask == nil {
+		return dy
+	}
+	return Hadamard(dy, l.lastMask)
+}
+
+// Params implements Module.
+func (l *Dropout) Params() []*Param { return nil }
+
+// Embedding maps integer ids (provided as float64 entries of the input) to
+// dense vectors. An input of shape n×k (k categorical fields) produces an
+// output of shape n×(k·Dim), the concatenation of the field embeddings.
+type Embedding struct {
+	Table *Param
+	Dim   int
+	lastX *Matrix
+}
+
+// NewEmbedding creates an embedding table with vocab rows of width dim.
+func NewEmbedding(vocab, dim int, r *rand.Rand) *Embedding {
+	return &Embedding{Table: NewParam("emb", Randn(vocab, dim, 0.1, r)), Dim: dim}
+}
+
+// Forward implements Module.
+func (e *Embedding) Forward(x *Matrix) *Matrix {
+	e.lastX = x
+	out := NewMatrix(x.Rows, x.Cols*e.Dim)
+	for i := 0; i < x.Rows; i++ {
+		for j := 0; j < x.Cols; j++ {
+			id := e.clampID(x.At(i, j))
+			copy(out.Row(i)[j*e.Dim:(j+1)*e.Dim], e.Table.W.Row(id))
+		}
+	}
+	return out
+}
+
+// Backward implements Module. Embeddings sit at the bottom of the network,
+// so the returned input gradient is nil-like (zero matrix).
+func (e *Embedding) Backward(dy *Matrix) *Matrix {
+	for i := 0; i < e.lastX.Rows; i++ {
+		for j := 0; j < e.lastX.Cols; j++ {
+			id := e.clampID(e.lastX.At(i, j))
+			grow := e.Table.Grad.Row(id)
+			drow := dy.Row(i)[j*e.Dim : (j+1)*e.Dim]
+			for d, v := range drow {
+				grow[d] += v
+			}
+		}
+	}
+	return NewMatrix(e.lastX.Rows, e.lastX.Cols)
+}
+
+func (e *Embedding) clampID(v float64) int {
+	id := int(v)
+	if id < 0 {
+		id = 0
+	}
+	if id >= e.Table.W.Rows {
+		id = e.Table.W.Rows - 1
+	}
+	return id
+}
+
+// Params implements Module.
+func (e *Embedding) Params() []*Param { return []*Param{e.Table} }
+
+// Sequential chains modules; the fundamental composite used for MLP heads.
+type Sequential struct {
+	Layers []Module
+}
+
+// NewSequential chains the given modules.
+func NewSequential(layers ...Module) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward implements Module.
+func (s *Sequential) Forward(x *Matrix) *Matrix {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward implements Module.
+func (s *Sequential) Backward(dy *Matrix) *Matrix {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dy = s.Layers[i].Backward(dy)
+	}
+	return dy
+}
+
+// Params implements Module.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// SetTraining propagates the training flag to train-aware layers.
+func (s *Sequential) SetTraining(b bool) {
+	for _, l := range s.Layers {
+		if ta, ok := l.(TrainAware); ok {
+			ta.SetTraining(b)
+		}
+	}
+}
+
+// FreezeUpTo freezes the parameters of layers [0, n) — the incremental
+// update primitive: the first n layers keep their weights while the tail is
+// fine-tuned.
+func (s *Sequential) FreezeUpTo(n int) {
+	for i, l := range s.Layers {
+		frozen := i < n
+		for _, p := range l.Params() {
+			p.Frozen = frozen
+		}
+	}
+}

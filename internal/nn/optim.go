@@ -1,0 +1,127 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from accumulated gradients. Frozen parameters
+// are always skipped, which implements the incremental-update contract.
+type Optimizer interface {
+	Step(params []*Param)
+	ZeroGrad(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional momentum and weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	velocity    map[*Param]*Matrix
+}
+
+// NewSGD creates an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*Param]*Matrix)}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if p.Frozen {
+			continue
+		}
+		v := o.velocity[p]
+		if o.Momentum != 0 && v == nil {
+			v = NewMatrix(p.W.Rows, p.W.Cols)
+			o.velocity[p] = v
+		}
+		for i := range p.W.Data {
+			g := p.Grad.Data[i]
+			if o.WeightDecay != 0 {
+				g += o.WeightDecay * p.W.Data[i]
+			}
+			if o.Momentum != 0 {
+				v.Data[i] = o.Momentum*v.Data[i] + g
+				g = v.Data[i]
+			}
+			p.W.Data[i] -= o.LR * g
+		}
+	}
+}
+
+// ZeroGrad implements Optimizer.
+func (o *SGD) ZeroGrad(params []*Param) { zeroGrads(params) }
+
+// Adam is the Adam optimizer (Kingma & Ba).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	WeightDecay           float64
+	t                     int
+	m, v                  map[*Param]*Matrix
+}
+
+// NewAdam creates an Adam optimizer with standard defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param]*Matrix), v: make(map[*Param]*Matrix),
+	}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		if p.Frozen {
+			continue
+		}
+		m := o.m[p]
+		v := o.v[p]
+		if m == nil {
+			m = NewMatrix(p.W.Rows, p.W.Cols)
+			v = NewMatrix(p.W.Rows, p.W.Cols)
+			o.m[p], o.v[p] = m, v
+		}
+		for i := range p.W.Data {
+			g := p.Grad.Data[i]
+			if o.WeightDecay != 0 {
+				g += o.WeightDecay * p.W.Data[i]
+			}
+			m.Data[i] = o.Beta1*m.Data[i] + (1-o.Beta1)*g
+			v.Data[i] = o.Beta2*v.Data[i] + (1-o.Beta2)*g*g
+			mHat := m.Data[i] / bc1
+			vHat := v.Data[i] / bc2
+			p.W.Data[i] -= o.LR * mHat / (math.Sqrt(vHat) + o.Eps)
+		}
+	}
+}
+
+// ZeroGrad implements Optimizer.
+func (o *Adam) ZeroGrad(params []*Param) { zeroGrads(params) }
+
+func zeroGrads(params []*Param) {
+	for _, p := range params {
+		p.Grad.Zero()
+	}
+}
+
+// ClipGradNorm rescales gradients so their global L2 norm is at most max.
+// Returns the pre-clip norm.
+func ClipGradNorm(params []*Param, max float64) float64 {
+	var total float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > max && norm > 0 {
+		s := max / norm
+		for _, p := range params {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] *= s
+			}
+		}
+	}
+	return norm
+}

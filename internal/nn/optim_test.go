@@ -1,0 +1,245 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quadratic target: minimize 0.5*||w - w*||² — gradients are (w - w*).
+func quadGrad(p *Param, target []float64) {
+	for i := range p.W.Data {
+		p.Grad.Data[i] = p.W.Data[i] - target[i]
+	}
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	p := NewParam("w", FromSlice(1, 3, []float64{5, -4, 2}))
+	target := []float64{1, 2, 3}
+	opt := NewSGD(0.2, 0.0)
+	for i := 0; i < 200; i++ {
+		opt.ZeroGrad([]*Param{p})
+		quadGrad(p, target)
+		opt.Step([]*Param{p})
+	}
+	for i, want := range target {
+		if math.Abs(p.W.Data[i]-want) > 1e-6 {
+			t.Fatalf("SGD did not converge: got %v", p.W.Data)
+		}
+	}
+}
+
+func TestSGDMomentumFasterThanPlain(t *testing.T) {
+	run := func(momentum float64) float64 {
+		p := NewParam("w", FromSlice(1, 1, []float64{10}))
+		opt := NewSGD(0.01, momentum)
+		for i := 0; i < 50; i++ {
+			opt.ZeroGrad([]*Param{p})
+			quadGrad(p, []float64{0})
+			opt.Step([]*Param{p})
+		}
+		return math.Abs(p.W.Data[0])
+	}
+	if run(0.9) >= run(0) {
+		t.Fatal("momentum should accelerate convergence on this quadratic")
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	p := NewParam("w", FromSlice(1, 3, []float64{5, -4, 2}))
+	target := []float64{1, 2, 3}
+	opt := NewAdam(0.1)
+	for i := 0; i < 500; i++ {
+		opt.ZeroGrad([]*Param{p})
+		quadGrad(p, target)
+		opt.Step([]*Param{p})
+	}
+	for i, want := range target {
+		if math.Abs(p.W.Data[i]-want) > 1e-3 {
+			t.Fatalf("Adam did not converge: got %v", p.W.Data)
+		}
+	}
+}
+
+func TestFrozenParamsDoNotMove(t *testing.T) {
+	p1 := NewParam("w1", FromSlice(1, 1, []float64{5}))
+	p2 := NewParam("w2", FromSlice(1, 1, []float64{5}))
+	p2.Frozen = true
+	for _, opt := range []Optimizer{NewSGD(0.1, 0.9), NewAdam(0.1)} {
+		p1.W.Data[0], p2.W.Data[0] = 5, 5
+		for i := 0; i < 10; i++ {
+			opt.ZeroGrad([]*Param{p1, p2})
+			quadGrad(p1, []float64{0})
+			quadGrad(p2, []float64{0})
+			opt.Step([]*Param{p1, p2})
+		}
+		if p1.W.Data[0] == 5 {
+			t.Fatal("unfrozen parameter should move")
+		}
+		if p2.W.Data[0] != 5 {
+			t.Fatal("frozen parameter must not move")
+		}
+	}
+}
+
+func TestWeightDecayShrinksWeights(t *testing.T) {
+	p := NewParam("w", FromSlice(1, 1, []float64{10}))
+	opt := NewSGD(0.1, 0)
+	opt.WeightDecay = 0.5
+	opt.ZeroGrad([]*Param{p})
+	// zero task gradient: only decay applies
+	opt.Step([]*Param{p})
+	if p.W.Data[0] >= 10 {
+		t.Fatal("weight decay should shrink the weight")
+	}
+	a := NewAdam(0.1)
+	a.WeightDecay = 0.5
+	q := NewParam("w", FromSlice(1, 1, []float64{10}))
+	a.ZeroGrad([]*Param{q})
+	a.Step([]*Param{q})
+	if q.W.Data[0] >= 10 {
+		t.Fatal("adam weight decay should shrink the weight")
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := NewParam("w", NewMatrix(1, 2))
+	p.Grad.Data[0], p.Grad.Data[1] = 3, 4 // norm 5
+	norm := ClipGradNorm([]*Param{p}, 1)
+	if math.Abs(norm-5) > 1e-9 {
+		t.Fatalf("pre-clip norm = %v, want 5", norm)
+	}
+	var after float64
+	for _, g := range p.Grad.Data {
+		after += g * g
+	}
+	if math.Abs(math.Sqrt(after)-1) > 1e-9 {
+		t.Fatalf("post-clip norm = %v, want 1", math.Sqrt(after))
+	}
+	// Below threshold: untouched.
+	p.Grad.Data[0], p.Grad.Data[1] = 0.3, 0.4
+	ClipGradNorm([]*Param{p}, 1)
+	if p.Grad.Data[0] != 0.3 {
+		t.Fatal("small gradients must not be rescaled")
+	}
+}
+
+func TestFreezeUpTo(t *testing.T) {
+	r := rand.New(rand.NewSource(20))
+	seq := NewSequential(NewLinear(2, 4, r), &ReLU{}, NewLinear(4, 1, r))
+	seq.FreezeUpTo(2)
+	if !seq.Layers[0].Params()[0].Frozen {
+		t.Fatal("prefix layer should be frozen")
+	}
+	if seq.Layers[2].Params()[0].Frozen {
+		t.Fatal("tail layer should be trainable")
+	}
+	seq.FreezeUpTo(0)
+	if seq.Layers[0].Params()[0].Frozen {
+		t.Fatal("unfreeze failed")
+	}
+}
+
+func TestXORTrainingEndToEnd(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	model := NewSequential(
+		NewLinear(2, 8, r),
+		&Tanh{},
+		NewLinear(8, 1, r),
+	)
+	x := FromRows([][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}})
+	y := FromRows([][]float64{{0}, {1}, {1}, {0}})
+	opt := NewAdam(0.05)
+	var loss float64
+	for i := 0; i < 800; i++ {
+		opt.ZeroGrad(model.Params())
+		logits := model.Forward(x)
+		var grad *Matrix
+		loss, grad = BCEWithLogitsLoss(logits, y)
+		model.Backward(grad)
+		opt.Step(model.Params())
+	}
+	if loss > 0.1 {
+		t.Fatalf("XOR training did not converge: loss=%v", loss)
+	}
+	if acc := Accuracy(model.Forward(x), y); acc != 1 {
+		t.Fatalf("XOR accuracy = %v, want 1", acc)
+	}
+}
+
+func TestAUC(t *testing.T) {
+	// Perfect separation.
+	if got := AUC([]float64{0.9, 0.8, 0.2, 0.1}, []float64{1, 1, 0, 0}); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("perfect AUC = %v", got)
+	}
+	// Inverted.
+	if got := AUC([]float64{0.1, 0.2, 0.8, 0.9}, []float64{1, 1, 0, 0}); math.Abs(got) > 1e-9 {
+		t.Fatalf("inverted AUC = %v", got)
+	}
+	// All ties → 0.5.
+	if got := AUC([]float64{0.5, 0.5, 0.5, 0.5}, []float64{1, 0, 1, 0}); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("tied AUC = %v", got)
+	}
+	// Degenerate single-class input.
+	if got := AUC([]float64{0.5, 0.6}, []float64{1, 1}); got != 0.5 {
+		t.Fatalf("single-class AUC = %v", got)
+	}
+}
+
+func TestPairwiseRankLoss(t *testing.T) {
+	l1, gb, gw := PairwiseRankLoss(2, 0)
+	if l1 <= 0 || gb >= 0 || gw <= 0 {
+		t.Fatal("rank loss signs wrong")
+	}
+	l2, _, _ := PairwiseRankLoss(0, 2)
+	if l2 <= l1 {
+		t.Fatal("mis-ordered pair must have higher loss")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(30))
+	seq := NewSequential(NewLinear(3, 5, r), &ReLU{}, NewLinear(5, 2, r))
+	snap := SnapshotSequential(seq)
+	if len(snap) != 3 {
+		t.Fatalf("snapshot layer count = %d", len(snap))
+	}
+	// Round-trip through bytes.
+	blob, err := EncodeWeights(snap[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeWeights(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SizeBytes() != snap[0].SizeBytes() || back.SizeBytes() == 0 {
+		t.Fatal("size mismatch after roundtrip")
+	}
+	// Mutate, restore, compare.
+	orig := seq.Layers[0].Params()[0].W.Clone()
+	for i := range seq.Layers[0].Params()[0].W.Data {
+		seq.Layers[0].Params()[0].W.Data[i] = 99
+	}
+	if err := RestoreSequential(seq, snap); err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig.Data {
+		if seq.Layers[0].Params()[0].W.Data[i] != orig.Data[i] {
+			t.Fatal("restore did not recover original weights")
+		}
+	}
+	// Error paths.
+	if err := RestoreSequential(seq, snap[:1]); err == nil {
+		t.Fatal("layer-count mismatch should error")
+	}
+	bad := snap[0]
+	bad.Shapes = [][2]int{{1, 1}, {1, 1}}
+	bad.Datas = [][]float64{{0}, {0}}
+	if err := RestoreParams(bad, seq.Layers[0].Params()); err == nil {
+		t.Fatal("shape mismatch should error")
+	}
+	if _, err := DecodeWeights([]byte("garbage")); err == nil {
+		t.Fatal("garbage decode should error")
+	}
+}

@@ -1,0 +1,679 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"neurdb/internal/catalog"
+	"neurdb/internal/plan"
+	"neurdb/internal/rel"
+	"neurdb/internal/stats"
+)
+
+// Cost-model constants, following PostgreSQL's defaults in spirit.
+const (
+	seqPageCost  = 1.0
+	randPageCost = 4.0
+	cpuTupleCost = 0.01
+	cpuOpCost    = 0.0025
+	hashEntry    = 0.015
+)
+
+// HintSet constrains the plan search space; the Bao baseline's arms are
+// hint sets (paper §5.3 / Bao SIGMOD'21).
+type HintSet struct {
+	Name        string
+	NoHashJoin  bool
+	NoIndexJoin bool
+	NoNLJoin    bool
+	NoIndexScan bool
+}
+
+// StandardHintSets returns the arm set used by the Bao baseline and by
+// candidate generation for the learned optimizer.
+func StandardHintSets() []HintSet {
+	return []HintSet{
+		{Name: "default"},
+		{Name: "no-hashjoin", NoHashJoin: true},
+		{Name: "no-indexjoin", NoIndexJoin: true},
+		{Name: "no-nljoin", NoNLJoin: true},
+		{Name: "no-indexscan", NoIndexScan: true, NoIndexJoin: true},
+		{Name: "hash-only", NoIndexJoin: true, NoNLJoin: true},
+	}
+}
+
+// StatsView resolves the statistics a planner sees for a table. Live
+// planning uses Table.Stats; the "PostgreSQL under drift" baseline plugs in
+// stale snapshots taken at its last ANALYZE.
+type StatsView func(*catalog.Table) *stats.TableStats
+
+// LiveStats is the default StatsView: current statistics.
+func LiveStats(t *catalog.Table) *stats.TableStats { return t.Stats }
+
+// Optimizer plans bound queries.
+type Optimizer struct {
+	Stats StatsView
+	Hints HintSet
+	// CardScale perturbs join selectivity estimates; the Lero baseline
+	// generates candidates by sweeping it (e.g. 0.1, 1, 10).
+	CardScale float64
+}
+
+// New creates an optimizer with live statistics and default hints.
+func New() *Optimizer {
+	return &Optimizer{Stats: LiveStats, CardScale: 1}
+}
+
+type subPlan struct {
+	node   plan.Node
+	layout []int // table indexes in output column order
+	rows   float64
+	cost   float64
+}
+
+// globalToPlan builds the column remap from global query coordinates to the
+// subplan's output coordinates for a given layout.
+func (q *Query) globalToPlan(layout []int) func(int) int {
+	mapping := make(map[int]int)
+	off := 0
+	for _, ti := range layout {
+		arity := q.Tables[ti].Schema.Arity()
+		for c := 0; c < arity; c++ {
+			mapping[q.Offsets[ti]+c] = off + c
+		}
+		off += arity
+	}
+	return func(i int) int {
+		if j, ok := mapping[i]; ok {
+			return j
+		}
+		return 0
+	}
+}
+
+func layoutSchema(q *Query, layout []int) *rel.Schema {
+	out := &rel.Schema{}
+	for _, ti := range layout {
+		for _, c := range q.Tables[ti].Schema.Cols {
+			cc := c
+			cc.Name = q.Aliases[ti] + "." + cc.Name
+			out.Cols = append(out.Cols, cc)
+		}
+	}
+	return out
+}
+
+// Plan produces the cheapest physical plan under the configured hints.
+func (o *Optimizer) Plan(q *Query) (plan.Node, error) {
+	if o.CardScale == 0 {
+		o.CardScale = 1
+	}
+	if o.Stats == nil {
+		o.Stats = LiveStats
+	}
+	n := len(q.Tables)
+	// Base table access paths.
+	base := make([]subPlan, n)
+	for i := range q.Tables {
+		base[i] = o.bestAccessPath(q, i)
+	}
+	best := base[0]
+	if n > 1 {
+		var err error
+		best, err = o.joinDP(q, base)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return o.finish(q, best)
+}
+
+// bestAccessPath picks SeqScan or IndexScan for one base table.
+func (o *Optimizer) bestAccessPath(q *Query, ti int) subPlan {
+	t := q.Tables[ti]
+	ts := o.Stats(t)
+	rows := float64(ts.Rows())
+	conjs := q.Local[ti]
+	sel := 1.0
+	for _, c := range conjs {
+		sel *= selOf(ts, c)
+	}
+	outRows := math.Max(rows*sel, 0.5)
+	pages := float64(t.Heap.NumPages())
+	seqCost := pages*seqPageCost + rows*cpuTupleCost*(1+0.25*float64(len(conjs)))
+	bestNode := plan.Node(&plan.SeqScan{
+		Base:   plan.Base{Out: layoutSchema(q, []int{ti}), EstRows: outRows, EstCost: seqCost},
+		Table:  t,
+		Filter: rel.CombineConjuncts(conjs),
+	})
+	bestCost := seqCost
+
+	if !o.Hints.NoIndexScan {
+		for ci, conj := range conjs {
+			col, eq, lo, hi, ok := indexableConjunct(conj)
+			if !ok {
+				continue
+			}
+			ix := t.IndexOn(col)
+			if ix == nil || (eq == nil && !ix.Ordered()) {
+				continue
+			}
+			var matchSel float64
+			if eq != nil {
+				matchSel = ts.SelectivityEq(col, eq.AsFloat())
+			} else {
+				loF, hiF := math.Inf(-1), math.Inf(1)
+				if lo != nil {
+					loF = lo.AsFloat()
+				}
+				if hi != nil {
+					hiF = hi.AsFloat()
+				}
+				matchSel = ts.SelectivityRange(col, loF, hiF)
+			}
+			matched := math.Max(rows*matchSel, 0.5)
+			cost := math.Log2(rows+2)*cpuOpCost + matched*(randPageCost*0.25+cpuTupleCost)
+			if cost < bestCost {
+				residual := make([]rel.Expr, 0, len(conjs)-1)
+				residual = append(residual, conjs[:ci]...)
+				residual = append(residual, conjs[ci+1:]...)
+				resSel := 1.0
+				for _, c := range residual {
+					resSel *= selOf(ts, c)
+				}
+				bestCost = cost
+				bestNode = &plan.IndexScan{
+					Base: plan.Base{
+						Out:     layoutSchema(q, []int{ti}),
+						EstRows: math.Max(matched*resSel, 0.5),
+						EstCost: cost,
+					},
+					Table: t, Index: ix, Eq: eq, Lo: lo, Hi: hi,
+					Filter: rel.CombineConjuncts(residual),
+				}
+			}
+		}
+	}
+	r, c := bestNode.Estimates()
+	return subPlan{node: bestNode, layout: []int{ti}, rows: r, cost: c}
+}
+
+// indexableConjunct recognizes "col op const" patterns usable by an index.
+func indexableConjunct(e rel.Expr) (col int, eq, lo, hi *rel.Value, ok bool) {
+	b, isBin := e.(*rel.BinOp)
+	if !isBin {
+		return 0, nil, nil, nil, false
+	}
+	cr, crOK := b.L.(*rel.ColRef)
+	cn, cnOK := b.R.(*rel.Const)
+	kind := b.Kind
+	if !crOK || !cnOK {
+		// try reversed: const op col
+		cn2, c2ok := b.L.(*rel.Const)
+		cr2, r2ok := b.R.(*rel.ColRef)
+		if !c2ok || !r2ok {
+			return 0, nil, nil, nil, false
+		}
+		cr, cn = cr2, cn2
+		switch kind {
+		case rel.OpLt:
+			kind = rel.OpGt
+		case rel.OpLe:
+			kind = rel.OpGe
+		case rel.OpGt:
+			kind = rel.OpLt
+		case rel.OpGe:
+			kind = rel.OpLe
+		}
+	}
+	v := cn.Val
+	switch kind {
+	case rel.OpEq:
+		return cr.Idx, &v, nil, nil, true
+	case rel.OpLt, rel.OpLe:
+		return cr.Idx, nil, nil, &v, true
+	case rel.OpGt, rel.OpGe:
+		return cr.Idx, nil, &v, nil, true
+	default:
+		return 0, nil, nil, nil, false
+	}
+}
+
+// selOf estimates the selectivity of a bound single-table conjunct.
+func selOf(ts *stats.TableStats, e rel.Expr) float64 {
+	switch t := e.(type) {
+	case *rel.BinOp:
+		switch t.Kind {
+		case rel.OpAnd:
+			return selOf(ts, t.L) * selOf(ts, t.R)
+		case rel.OpOr:
+			s := selOf(ts, t.L) + selOf(ts, t.R)
+			if s > 1 {
+				s = 1
+			}
+			return s
+		}
+		cr, crOK := t.L.(*rel.ColRef)
+		cn, cnOK := t.R.(*rel.Const)
+		if !crOK || !cnOK {
+			cn2, c2ok := t.L.(*rel.Const)
+			cr2, r2ok := t.R.(*rel.ColRef)
+			if !c2ok || !r2ok {
+				return 0.33
+			}
+			// reverse the comparison
+			cr, cn = cr2, cn2
+			switch t.Kind {
+			case rel.OpLt:
+				return ts.SelectivityRange(cr.Idx, cn.Val.AsFloat(), math.Inf(1))
+			case rel.OpLe:
+				return ts.SelectivityRange(cr.Idx, cn.Val.AsFloat(), math.Inf(1))
+			case rel.OpGt:
+				return ts.SelectivityRange(cr.Idx, math.Inf(-1), cn.Val.AsFloat())
+			case rel.OpGe:
+				return ts.SelectivityRange(cr.Idx, math.Inf(-1), cn.Val.AsFloat())
+			case rel.OpEq:
+				return ts.SelectivityEq(cr.Idx, cn.Val.AsFloat())
+			case rel.OpNe:
+				return 1 - ts.SelectivityEq(cr.Idx, cn.Val.AsFloat())
+			}
+			return 0.33
+		}
+		v := cn.Val.AsFloat()
+		switch t.Kind {
+		case rel.OpEq:
+			return ts.SelectivityEq(cr.Idx, v)
+		case rel.OpNe:
+			return 1 - ts.SelectivityEq(cr.Idx, v)
+		case rel.OpLt, rel.OpLe:
+			return ts.SelectivityRange(cr.Idx, math.Inf(-1), v)
+		case rel.OpGt, rel.OpGe:
+			return ts.SelectivityRange(cr.Idx, v, math.Inf(1))
+		}
+		return 0.33
+	case *rel.InList:
+		if cr, ok := t.E.(*rel.ColRef); ok {
+			s := 0.0
+			for _, v := range t.List {
+				s += ts.SelectivityEq(cr.Idx, v.AsFloat())
+			}
+			if s > 1 {
+				s = 1
+			}
+			return s
+		}
+		return 0.2
+	case *rel.IsNullExpr:
+		c := ts.Col(0)
+		frac := 0.05
+		if c.Count > 0 {
+			frac = float64(c.NullCount) / float64(c.Count)
+		}
+		if t.Negate {
+			return 1 - frac
+		}
+		return frac
+	case *rel.Not:
+		return 1 - selOf(ts, t.E)
+	default:
+		return 0.33
+	}
+}
+
+// joinDP performs left-deep dynamic-programming join enumeration.
+func (o *Optimizer) joinDP(q *Query, base []subPlan) (subPlan, error) {
+	n := len(q.Tables)
+	full := (1 << n) - 1
+	memo := make(map[int]subPlan, 1<<n)
+	for i := 0; i < n; i++ {
+		memo[1<<i] = base[i]
+	}
+	// Enumerate subsets by population count.
+	for size := 2; size <= n; size++ {
+		for s := 1; s <= full; s++ {
+			if popcount(s) != size {
+				continue
+			}
+			var best subPlan
+			found := false
+			for t := 0; t < n; t++ {
+				bit := 1 << t
+				if s&bit == 0 {
+					continue
+				}
+				left, ok := memo[s^bit]
+				if !ok {
+					continue
+				}
+				preds := connectingPreds(q, left.layout, t)
+				// Prefer connected joins; allow cross joins only if no
+				// connected extension exists for this subset.
+				if len(preds) == 0 && hasConnectedOption(q, s) {
+					continue
+				}
+				cands := o.joinMethods(q, left, t, preds)
+				for _, c := range cands {
+					if !found || c.cost < best.cost {
+						best = c
+						found = true
+					}
+				}
+			}
+			if found {
+				memo[s] = best
+			}
+		}
+	}
+	result, ok := memo[full]
+	if !ok {
+		return subPlan{}, fmt.Errorf("optimizer: join enumeration failed (disconnected graph without cross-join fallback)")
+	}
+	return result, nil
+}
+
+// hasConnectedOption reports whether some left-deep extension of subset s
+// uses a join predicate.
+func hasConnectedOption(q *Query, s int) bool {
+	n := len(q.Tables)
+	for t := 0; t < n; t++ {
+		bit := 1 << t
+		if s&bit == 0 {
+			continue
+		}
+		rest := s ^ bit
+		for _, jp := range q.Joins {
+			if jp.LT == t && rest&(1<<jp.RT) != 0 {
+				return true
+			}
+			if jp.RT == t && rest&(1<<jp.LT) != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// connectingPreds finds join predicates between the tables in layout and
+// table t, normalized so the left side refers to layout.
+func connectingPreds(q *Query, layout []int, t int) []JoinPred {
+	inLeft := map[int]bool{}
+	for _, ti := range layout {
+		inLeft[ti] = true
+	}
+	var out []JoinPred
+	for _, jp := range q.Joins {
+		if inLeft[jp.LT] && jp.RT == t {
+			out = append(out, jp)
+		} else if inLeft[jp.RT] && jp.LT == t {
+			out = append(out, JoinPred{LT: jp.RT, LC: jp.RC, RT: jp.LT, RC: jp.LC})
+		}
+	}
+	return out
+}
+
+// joinMethods generates hash, index and nested-loop joins of (left ⋈ t).
+func (o *Optimizer) joinMethods(q *Query, left subPlan, t int, preds []JoinPred) []subPlan {
+	right := o.bestAccessPath(q, t)
+	newLayout := append(append([]int(nil), left.layout...), t)
+	outSchema := layoutSchema(q, newLayout)
+	remap := q.globalToPlan(newLayout)
+	leftMap := q.globalToPlan(left.layout)
+
+	// Join cardinality: product divided by max NDV over equi keys.
+	tsR := o.Stats(q.Tables[t])
+	outRows := left.rows * right.rows
+	for _, jp := range preds {
+		tsL := o.Stats(q.Tables[jp.LT])
+		ndvL := float64(tsL.Col(jp.LC).Distinct)
+		ndvR := float64(tsR.Col(jp.RC).Distinct)
+		ndv := math.Max(math.Max(ndvL, ndvR), 1)
+		outRows /= ndv
+	}
+	outRows = math.Max(outRows*o.CardScale, 0.5)
+
+	// Build the full ON condition in output coordinates.
+	var onConjs []rel.Expr
+	for _, jp := range preds {
+		l := &rel.ColRef{Idx: remap(q.Offsets[jp.LT] + jp.LC)}
+		r := &rel.ColRef{Idx: remap(q.Offsets[jp.RT] + jp.RC)}
+		onConjs = append(onConjs, &rel.BinOp{Kind: rel.OpEq, L: l, R: r})
+	}
+	on := rel.CombineConjuncts(onConjs)
+
+	var out []subPlan
+
+	// Hash join (first equi pred as hash key, rest residual).
+	if !o.Hints.NoHashJoin && len(preds) > 0 {
+		jp := preds[0]
+		var residual rel.Expr
+		if len(preds) > 1 {
+			residual = rel.CombineConjuncts(onConjs[1:])
+		}
+		cost := left.cost + right.cost +
+			right.rows*hashEntry + left.rows*cpuOpCost + outRows*cpuTupleCost
+		out = append(out, subPlan{
+			node: &plan.HashJoin{
+				Base: plan.Base{Out: outSchema, EstRows: outRows, EstCost: cost},
+				L:    left.node, R: right.node,
+				LKey:     leftMap(q.Offsets[jp.LT] + jp.LC),
+				RKey:     jp.RC,
+				Residual: residual,
+			},
+			layout: newLayout, rows: outRows, cost: cost,
+		})
+	}
+
+	// Index nested-loop join: probe an index on the inner join column.
+	if !o.Hints.NoIndexJoin && len(preds) > 0 {
+		for pi, jp := range preds {
+			ix := q.Tables[t].IndexOn(jp.RC)
+			if ix == nil {
+				continue
+			}
+			var residual rel.Expr
+			if len(preds) > 1 {
+				rest := make([]rel.Expr, 0, len(onConjs)-1)
+				rest = append(rest, onConjs[:pi]...)
+				rest = append(rest, onConjs[pi+1:]...)
+				residual = rel.CombineConjuncts(rest)
+			}
+			rowsT := float64(tsR.Rows())
+			matchPerProbe := rowsT / math.Max(float64(tsR.Col(jp.RC).Distinct), 1)
+			cost := left.cost +
+				left.rows*(math.Log2(rowsT+2)*cpuOpCost+matchPerProbe*(randPageCost*0.1+cpuTupleCost)) +
+				outRows*cpuTupleCost
+			out = append(out, subPlan{
+				node: &plan.IndexJoin{
+					Base:  plan.Base{Out: outSchema, EstRows: outRows, EstCost: cost},
+					L:     left.node,
+					Table: q.Tables[t], Index: ix,
+					LKey:     leftMap(q.Offsets[jp.LT] + jp.LC),
+					Residual: residual,
+					Filter:   rel.CombineConjuncts(q.Local[t]),
+				},
+				layout: newLayout, rows: outRows, cost: cost,
+			})
+			break
+		}
+	}
+
+	// Nested-loop join (always available; required for cross joins).
+	if !o.Hints.NoNLJoin || len(out) == 0 {
+		cost := left.cost + right.cost +
+			left.rows*math.Max(right.rows, 1)*cpuOpCost + outRows*cpuTupleCost
+		out = append(out, subPlan{
+			node: &plan.NLJoin{
+				Base: plan.Base{Out: outSchema, EstRows: outRows, EstCost: cost},
+				L:    left.node, R: right.node, On: on,
+			},
+			layout: newLayout, rows: outRows, cost: cost,
+		})
+	}
+	return out
+}
+
+// finish applies residual filters, aggregation/projection, ordering, limit.
+func (o *Optimizer) finish(q *Query, sp subPlan) (plan.Node, error) {
+	node := sp.node
+	remap := q.globalToPlan(sp.layout)
+	rows := sp.rows
+	cost := sp.cost
+
+	if len(q.Residual) > 0 {
+		pred := rel.MapCols(rel.CombineConjuncts(q.Residual), remap)
+		rows = math.Max(rows*0.33, 0.5)
+		cost += rows * cpuOpCost
+		node = &plan.Filter{
+			Base:  plan.Base{Out: node.Schema(), EstRows: rows, EstCost: cost},
+			Child: node,
+			Pred:  pred,
+		}
+	}
+
+	if q.HasAgg {
+		agg := &plan.Agg{
+			Base:  plan.Base{EstCost: cost + rows*cpuOpCost},
+			Child: node,
+		}
+		outSchema := &rel.Schema{}
+		for _, g := range q.GroupBy {
+			agg.GroupBy = append(agg.GroupBy, rel.MapCols(g, remap))
+		}
+		for _, item := range q.Items {
+			if item.Agg != nil {
+				spec := &plan.AggSpec{Kind: aggKindOf(item.Agg.Kind)}
+				if item.Agg.Arg != nil {
+					spec.Arg = rel.MapCols(item.Agg.Arg, remap)
+				}
+				agg.Items = append(agg.Items, plan.AggItem{Agg: spec})
+				outSchema.Cols = append(outSchema.Cols, rel.Column{Name: item.Alias, Typ: rel.TypeFloat})
+			} else {
+				agg.Items = append(agg.Items, plan.AggItem{Key: rel.MapCols(item.E, remap)})
+				outSchema.Cols = append(outSchema.Cols, rel.Column{Name: item.Alias})
+			}
+		}
+		groups := math.Max(rows/10, 1)
+		if len(agg.GroupBy) == 0 {
+			groups = 1
+		}
+		agg.Out = outSchema
+		agg.EstRows = groups
+		node = agg
+		rows = groups
+	} else {
+		// Plain projection.
+		exprs := make([]rel.Expr, len(q.Items))
+		outSchema := &rel.Schema{}
+		for i, item := range q.Items {
+			exprs[i] = rel.MapCols(item.E, remap)
+			outSchema.Cols = append(outSchema.Cols, rel.Column{Name: item.Alias})
+		}
+		cost += rows * cpuOpCost
+		node = &plan.Project{
+			Base:  plan.Base{Out: outSchema, EstRows: rows, EstCost: cost},
+			Child: node,
+			Exprs: exprs,
+		}
+	}
+
+	if len(q.OrderBy) > 0 {
+		if q.HasAgg {
+			return nil, fmt.Errorf("optimizer: ORDER BY with aggregates is not supported")
+		}
+		keys := make([]plan.SortKey, len(q.OrderBy))
+		for i, ob := range q.OrderBy {
+			keys[i] = plan.SortKey{E: rel.MapCols(ob.E, remap), Desc: ob.Desc}
+		}
+		// Sort keys reference pre-projection columns; sort below projection
+		// would be more standard, but our Project only renames/reorders, so
+		// sorting above with remapped keys is incorrect when the projection
+		// drops sort columns. Sort therefore goes *below* the projection.
+		proj := node.(*plan.Project)
+		cost += rows * math.Log2(rows+2) * cpuOpCost
+		sortNode := &plan.Sort{
+			Base:  plan.Base{Out: proj.Child.Schema(), EstRows: rows, EstCost: cost},
+			Child: proj.Child,
+			Keys:  keys,
+		}
+		proj.Child = sortNode
+		proj.EstCost = cost
+		node = proj
+	}
+
+	if q.Limit >= 0 {
+		node = &plan.Limit{
+			Base:  plan.Base{Out: node.Schema(), EstRows: math.Min(rows, float64(q.Limit)), EstCost: cost},
+			Child: node,
+			N:     q.Limit,
+		}
+	}
+	return node, nil
+}
+
+func aggKindOf(name string) plan.AggKind {
+	switch name {
+	case "COUNT":
+		return plan.AggCount
+	case "SUM":
+		return plan.AggSum
+	case "AVG":
+		return plan.AggAvg
+	case "MIN":
+		return plan.AggMin
+	default:
+		return plan.AggMax
+	}
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// Candidate is a plan produced under a named strategy.
+type Candidate struct {
+	Plan plan.Node
+	Hint string
+}
+
+// EnumerateCandidates produces a diverse candidate plan set: one plan per
+// hint set plus cardinality-perturbed variants — the filtering stage of the
+// filter-and-refine principle the learned optimizer's analyzer then refines.
+func EnumerateCandidates(q *Query, sv StatsView, cardScales []float64) ([]Candidate, error) {
+	if sv == nil {
+		sv = LiveStats
+	}
+	var out []Candidate
+	seen := map[string]bool{}
+	add := func(p plan.Node, hint string) {
+		key := plan.Explain(p)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, Candidate{Plan: p, Hint: hint})
+		}
+	}
+	for _, h := range StandardHintSets() {
+		o := &Optimizer{Stats: sv, Hints: h, CardScale: 1}
+		p, err := o.Plan(q)
+		if err != nil {
+			return nil, err
+		}
+		add(p, h.Name)
+	}
+	for _, cs := range cardScales {
+		if cs == 1 || cs <= 0 {
+			continue
+		}
+		o := &Optimizer{Stats: sv, CardScale: cs}
+		p, err := o.Plan(q)
+		if err != nil {
+			return nil, err
+		}
+		add(p, fmt.Sprintf("cardx%g", cs))
+	}
+	return out, nil
+}

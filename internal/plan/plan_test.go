@@ -1,0 +1,131 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"neurdb/internal/catalog"
+	"neurdb/internal/rel"
+)
+
+func testTable(t *testing.T) *catalog.Table {
+	t.Helper()
+	cat := catalog.New(nil)
+	tbl, err := cat.Create("t", rel.NewSchema(
+		rel.Column{Name: "a", Typ: rel.TypeInt},
+		rel.Column{Name: "b", Typ: rel.TypeInt},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		tbl.Heap.Insert(rel.Row{rel.Int(int64(i)), rel.Int(int64(i % 7))}, 1)
+	}
+	tbl.Stats.Rebuild([]rel.Row{{rel.Int(1), rel.Int(2)}})
+	return tbl
+}
+
+func samplePlan(t *testing.T) Node {
+	tbl := testTable(t)
+	scan := &SeqScan{
+		Base:  Base{Out: tbl.Schema, EstRows: 100, EstCost: 10},
+		Table: tbl,
+		Filter: &rel.BinOp{Kind: rel.OpGt,
+			L: &rel.ColRef{Idx: 0, Name: "a"}, R: &rel.Const{Val: rel.Int(5)}},
+	}
+	scan2 := &SeqScan{Base: Base{Out: tbl.Schema, EstRows: 100, EstCost: 10}, Table: tbl}
+	join := &HashJoin{
+		Base: Base{Out: tbl.Schema.Concat(tbl.Schema), EstRows: 50, EstCost: 40},
+		L:    scan, R: scan2, LKey: 0, RKey: 0,
+	}
+	return &Project{
+		Base:  Base{Out: rel.NewSchema(rel.Column{Name: "a"}), EstRows: 50, EstCost: 45},
+		Child: join,
+		Exprs: []rel.Expr{&rel.ColRef{Idx: 0, Name: "a"}},
+	}
+}
+
+func TestExplainWalkCount(t *testing.T) {
+	p := samplePlan(t)
+	if got := Count(p); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	out := Explain(p)
+	for _, want := range []string{"Project", "HashJoin", "SeqScan(t, (a > 5))", "rows=50"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain missing %q:\n%s", want, out)
+		}
+	}
+	// Walk visits with correct depths.
+	depths := map[string]int{}
+	Walk(p, func(n Node, d int) { depths[n.Label()] = d })
+	if depths["HashJoin(l.#0 = r.#0)"] != 1 {
+		t.Fatalf("depths: %v", depths)
+	}
+}
+
+func TestEncodeTreeFeatures(t *testing.T) {
+	p := samplePlan(t)
+	toks := EncodeTree(p)
+	if len(toks) != Count(p) {
+		t.Fatalf("token count %d vs nodes %d", len(toks), Count(p))
+	}
+	for _, tok := range toks {
+		if len(tok) != NodeFeatureDim {
+			t.Fatalf("feature dim %d", len(tok))
+		}
+	}
+	// Root is a Project → "other" one-hot at position 6, depth 0.
+	if toks[0][6] != 1 || toks[0][9] != 0 {
+		t.Fatalf("root token wrong: %v", toks[0])
+	}
+	// Second token is the hash join at depth 1.
+	if toks[1][2] != 1 || toks[1][9] == 0 {
+		t.Fatalf("join token wrong: %v", toks[1])
+	}
+	// Leaves carry table features.
+	leaf := toks[2]
+	if leaf[0] != 1 || leaf[11] <= 0 {
+		t.Fatalf("leaf token wrong: %v", leaf)
+	}
+}
+
+func TestNodeLabelsAndKinds(t *testing.T) {
+	tbl := testTable(t)
+	v := rel.Int(3)
+	nodes := []Node{
+		&IndexScan{Base: Base{Out: tbl.Schema}, Table: tbl,
+			Index: &catalog.Index{Name: "i", Col: 0}, Eq: &v},
+		&IndexScan{Base: Base{Out: tbl.Schema}, Table: tbl,
+			Index: &catalog.Index{Name: "i", Col: 0}, Lo: &v},
+		&NLJoin{Base: Base{Out: tbl.Schema}, L: &SeqScan{Base: Base{Out: tbl.Schema}, Table: tbl},
+			R: &SeqScan{Base: Base{Out: tbl.Schema}, Table: tbl}},
+		&IndexJoin{Base: Base{Out: tbl.Schema}, L: &SeqScan{Base: Base{Out: tbl.Schema}, Table: tbl},
+			Table: tbl, Index: &catalog.Index{Name: "i", Col: 0}},
+		&Filter{Base: Base{Out: tbl.Schema}, Child: &SeqScan{Base: Base{Out: tbl.Schema}, Table: tbl},
+			Pred: &rel.Const{Val: rel.Bool(true)}},
+		&Agg{Base: Base{Out: tbl.Schema}, Child: &SeqScan{Base: Base{Out: tbl.Schema}, Table: tbl},
+			Items: []AggItem{{Agg: &AggSpec{Kind: AggCount}}}},
+		&Sort{Base: Base{Out: tbl.Schema}, Child: &SeqScan{Base: Base{Out: tbl.Schema}, Table: tbl}},
+		&Limit{Base: Base{Out: tbl.Schema}, Child: &SeqScan{Base: Base{Out: tbl.Schema}, Table: tbl}, N: 5},
+	}
+	for _, n := range nodes {
+		if n.Label() == "" {
+			t.Fatalf("%T has empty label", n)
+		}
+		if n.Schema() == nil {
+			t.Fatalf("%T has no schema", n)
+		}
+	}
+	// Aggregate kind names.
+	for k, want := range map[AggKind]string{AggCount: "COUNT", AggSum: "SUM", AggAvg: "AVG", AggMin: "MIN", AggMax: "MAX"} {
+		if k.String() != want {
+			t.Fatalf("agg kind %d name %q", k, k.String())
+		}
+	}
+	// NLJoin without condition renders as cross join.
+	cross := &NLJoin{Base: Base{Out: tbl.Schema}, L: nodes[2], R: nodes[2]}
+	if !strings.Contains(cross.Label(), "cross") {
+		t.Fatal("cross join label wrong")
+	}
+}

@@ -1,0 +1,335 @@
+package rel
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BinOpKind enumerates binary operators in bound expressions.
+type BinOpKind uint8
+
+// Binary operators.
+const (
+	OpEq BinOpKind = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd
+	OpOr
+)
+
+// String returns the SQL spelling of the operator.
+func (k BinOpKind) String() string {
+	switch k {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	default:
+		return "?"
+	}
+}
+
+// Expr is a bound (column-index-resolved) expression evaluated against rows.
+type Expr interface {
+	// Eval computes the expression over the row.
+	Eval(Row) Value
+	// String renders the expression for EXPLAIN output.
+	String() string
+}
+
+// ColRef references a column by position.
+type ColRef struct {
+	Idx  int
+	Name string // for display only
+}
+
+// Eval implements Expr.
+func (c *ColRef) Eval(r Row) Value { return r[c.Idx] }
+
+// String implements Expr.
+func (c *ColRef) String() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("#%d", c.Idx)
+}
+
+// Const is a literal value.
+type Const struct{ Val Value }
+
+// Eval implements Expr.
+func (c *Const) Eval(Row) Value { return c.Val }
+
+// String implements Expr.
+func (c *Const) String() string {
+	if c.Val.Typ == TypeText {
+		return "'" + c.Val.S + "'"
+	}
+	return c.Val.String()
+}
+
+// BinOp applies a binary operator to two sub-expressions.
+type BinOp struct {
+	Kind BinOpKind
+	L, R Expr
+}
+
+// Eval implements Expr with SQL three-valued-ish semantics: comparisons with
+// NULL yield false, arithmetic with NULL yields NULL.
+func (b *BinOp) Eval(r Row) Value {
+	l := b.L.Eval(r)
+	rv := b.R.Eval(r)
+	switch b.Kind {
+	case OpAnd:
+		return Bool(l.AsBool() && rv.AsBool())
+	case OpOr:
+		return Bool(l.AsBool() || rv.AsBool())
+	}
+	if l.IsNull() || rv.IsNull() {
+		switch b.Kind {
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+			return Null()
+		default:
+			return Bool(false)
+		}
+	}
+	switch b.Kind {
+	case OpEq:
+		return Bool(Compare(l, rv) == 0)
+	case OpNe:
+		return Bool(Compare(l, rv) != 0)
+	case OpLt:
+		return Bool(Compare(l, rv) < 0)
+	case OpLe:
+		return Bool(Compare(l, rv) <= 0)
+	case OpGt:
+		return Bool(Compare(l, rv) > 0)
+	case OpGe:
+		return Bool(Compare(l, rv) >= 0)
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+		return arith(b.Kind, l, rv)
+	default:
+		return Null()
+	}
+}
+
+func arith(k BinOpKind, l, r Value) Value {
+	if l.Typ == TypeInt && r.Typ == TypeInt {
+		switch k {
+		case OpAdd:
+			return Int(l.I + r.I)
+		case OpSub:
+			return Int(l.I - r.I)
+		case OpMul:
+			return Int(l.I * r.I)
+		case OpDiv:
+			if r.I == 0 {
+				return Null()
+			}
+			return Int(l.I / r.I)
+		case OpMod:
+			if r.I == 0 {
+				return Null()
+			}
+			return Int(l.I % r.I)
+		}
+	}
+	lf, rf := l.AsFloat(), r.AsFloat()
+	switch k {
+	case OpAdd:
+		return Float(lf + rf)
+	case OpSub:
+		return Float(lf - rf)
+	case OpMul:
+		return Float(lf * rf)
+	case OpDiv:
+		if rf == 0 {
+			return Null()
+		}
+		return Float(lf / rf)
+	case OpMod:
+		if rf == 0 {
+			return Null()
+		}
+		return Float(math.Mod(lf, rf))
+	}
+	return Null()
+}
+
+// String implements Expr.
+func (b *BinOp) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Kind, b.R)
+}
+
+// Not negates a boolean sub-expression.
+type Not struct{ E Expr }
+
+// Eval implements Expr.
+func (n *Not) Eval(r Row) Value { return Bool(!n.E.Eval(r).AsBool()) }
+
+// String implements Expr.
+func (n *Not) String() string { return "NOT " + n.E.String() }
+
+// IsNullExpr tests a sub-expression for NULL (IS NULL / IS NOT NULL).
+type IsNullExpr struct {
+	E      Expr
+	Negate bool
+}
+
+// Eval implements Expr.
+func (e *IsNullExpr) Eval(r Row) Value {
+	isNull := e.E.Eval(r).IsNull()
+	if e.Negate {
+		return Bool(!isNull)
+	}
+	return Bool(isNull)
+}
+
+// String implements Expr.
+func (e *IsNullExpr) String() string {
+	if e.Negate {
+		return e.E.String() + " IS NOT NULL"
+	}
+	return e.E.String() + " IS NULL"
+}
+
+// InList tests membership of a sub-expression in a literal list.
+type InList struct {
+	E    Expr
+	List []Value
+}
+
+// Eval implements Expr.
+func (e *InList) Eval(r Row) Value {
+	v := e.E.Eval(r)
+	for _, item := range e.List {
+		if Equal(v, item) {
+			return Bool(true)
+		}
+	}
+	return Bool(false)
+}
+
+// String implements Expr.
+func (e *InList) String() string {
+	parts := make([]string, len(e.List))
+	for i, v := range e.List {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("%s IN (%s)", e.E, strings.Join(parts, ", "))
+}
+
+// SplitConjuncts flattens nested ANDs into a conjunct list; useful for
+// predicate pushdown and selectivity estimation.
+func SplitConjuncts(e Expr) []Expr {
+	b, ok := e.(*BinOp)
+	if !ok || b.Kind != OpAnd {
+		return []Expr{e}
+	}
+	return append(SplitConjuncts(b.L), SplitConjuncts(b.R)...)
+}
+
+// CombineConjuncts joins expressions with AND; nil for an empty list.
+func CombineConjuncts(es []Expr) Expr {
+	var out Expr
+	for _, e := range es {
+		if out == nil {
+			out = e
+		} else {
+			out = &BinOp{Kind: OpAnd, L: out, R: e}
+		}
+	}
+	return out
+}
+
+// ReferencedCols collects the column indexes referenced by the expression.
+func ReferencedCols(e Expr, out map[int]bool) {
+	switch t := e.(type) {
+	case *ColRef:
+		out[t.Idx] = true
+	case *Const:
+	case *BinOp:
+		ReferencedCols(t.L, out)
+		ReferencedCols(t.R, out)
+	case *Not:
+		ReferencedCols(t.E, out)
+	case *IsNullExpr:
+		ReferencedCols(t.E, out)
+	case *InList:
+		ReferencedCols(t.E, out)
+	}
+}
+
+// ShiftCols returns a copy of the expression with every column index shifted
+// by delta; used when splitting join predicates across inputs.
+func ShiftCols(e Expr, delta int) Expr {
+	switch t := e.(type) {
+	case *ColRef:
+		return &ColRef{Idx: t.Idx + delta, Name: t.Name}
+	case *Const:
+		return t
+	case *BinOp:
+		return &BinOp{Kind: t.Kind, L: ShiftCols(t.L, delta), R: ShiftCols(t.R, delta)}
+	case *Not:
+		return &Not{E: ShiftCols(t.E, delta)}
+	case *IsNullExpr:
+		return &IsNullExpr{E: ShiftCols(t.E, delta), Negate: t.Negate}
+	case *InList:
+		return &InList{E: ShiftCols(t.E, delta), List: t.List}
+	default:
+		return e
+	}
+}
+
+// MapCols returns a copy of the expression with every column index rewritten
+// through f; used to retarget predicates when join trees permute column
+// layouts.
+func MapCols(e Expr, f func(int) int) Expr {
+	switch t := e.(type) {
+	case *ColRef:
+		return &ColRef{Idx: f(t.Idx), Name: t.Name}
+	case *Const:
+		return t
+	case *BinOp:
+		return &BinOp{Kind: t.Kind, L: MapCols(t.L, f), R: MapCols(t.R, f)}
+	case *Not:
+		return &Not{E: MapCols(t.E, f)}
+	case *IsNullExpr:
+		return &IsNullExpr{E: MapCols(t.E, f), Negate: t.Negate}
+	case *InList:
+		return &InList{E: MapCols(t.E, f), List: t.List}
+	default:
+		return e
+	}
+}

@@ -1,0 +1,161 @@
+// Package sqlparse implements the SQL front-end: a lexer and
+// recursive-descent parser for the engine's SQL dialect, including the
+// paper's AI-analytics extension — PREDICT {VALUE|CLASS} OF ... TRAIN ON ...
+// (Listings 1 and 2 in the paper).
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokPunct // operators and punctuation, e.g. ( ) , = <> <= >= + - * / %
+)
+
+// Token is a lexical token with position information for error messages.
+type Token struct {
+	Kind TokenKind
+	Text string // identifiers are kept verbatim; keywords match case-insensitively
+	Pos  int    // byte offset in the input
+}
+
+// Lexer splits SQL text into tokens.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return Token{Kind: TokIdent, Text: l.src[start:l.pos], Pos: start}, nil
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		seenDot := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == '.' && !seenDot {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if ch == 'e' || ch == 'E' {
+				// scientific notation
+				if l.pos+1 < len(l.src) && (isDigit(l.src[l.pos+1]) || l.src[l.pos+1] == '-' || l.src[l.pos+1] == '+') {
+					l.pos += 2
+					for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+						l.pos++
+					}
+				}
+				break
+			}
+			if !isDigit(ch) {
+				break
+			}
+			l.pos++
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'') // escaped quote
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+	default:
+		// multi-char operators first
+		for _, op := range []string{"<>", "<=", ">=", "!=", "=="} {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += len(op)
+				return Token{Kind: TokPunct, Text: op, Pos: start}, nil
+			}
+		}
+		if strings.ContainsRune("()[],;=<>+-*/%.", rune(c)) {
+			l.pos++
+			return Token{Kind: TokPunct, Text: string(c), Pos: start}, nil
+		}
+		return Token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, l.pos)
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		if strings.HasPrefix(l.src[l.pos:], "--") {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if strings.HasPrefix(l.src[l.pos:], "/*") {
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+				return
+			}
+			l.pos += 2 + end + 2
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(c rune) bool { return unicode.IsLetter(c) || c == '_' }
+func isIdentPart(c rune) bool  { return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' }
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+
+// Tokenize lexes the full input (testing helper).
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

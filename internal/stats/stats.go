@@ -1,0 +1,331 @@
+// Package stats maintains per-table, per-column statistics: row counts,
+// min/max, approximate distinct counts, and equi-depth histograms. ANALYZE
+// rebuilds them; DML maintains them incrementally so the learned query
+// optimizer can observe *current* data conditions while the cost-based
+// baseline plans on whatever snapshot its last ANALYZE captured — exactly
+// the staleness axis the paper's Figure 8 drift experiment exercises.
+package stats
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"neurdb/internal/rel"
+)
+
+// HistogramBuckets is the number of equi-depth buckets per column.
+const HistogramBuckets = 32
+
+// ColumnStats summarizes one numeric (or numeric-coercible) column.
+type ColumnStats struct {
+	Count     int64
+	NullCount int64
+	Min, Max  float64
+	Distinct  int64 // approximate NDV
+	// Bounds are the equi-depth bucket upper bounds (len = buckets used).
+	// Each bucket holds ~Count/len(Bounds) values.
+	Bounds []float64
+	// Sum enables mean maintenance under incremental updates.
+	Sum float64
+}
+
+// TableStats holds statistics for all columns of a table.
+type TableStats struct {
+	mu       sync.RWMutex
+	RowCount int64
+	Cols     []ColumnStats
+	// Version increments on every rebuild or incremental change batch, so
+	// consumers can cheaply detect drift in the stats themselves.
+	Version uint64
+}
+
+// NewTableStats creates empty statistics for arity columns.
+func NewTableStats(arity int) *TableStats {
+	return &TableStats{Cols: make([]ColumnStats, arity)}
+}
+
+// Snapshot returns a deep copy, used by planners that must keep planning on
+// stale statistics (the PostgreSQL baseline under drift).
+func (ts *TableStats) Snapshot() *TableStats {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	cp := &TableStats{RowCount: ts.RowCount, Version: ts.Version}
+	cp.Cols = make([]ColumnStats, len(ts.Cols))
+	for i, c := range ts.Cols {
+		cc := c
+		cc.Bounds = append([]float64(nil), c.Bounds...)
+		cp.Cols[i] = cc
+	}
+	return cp
+}
+
+// Rebuild recomputes all statistics from a full pass over rows (ANALYZE).
+func (ts *TableStats) Rebuild(rows []rel.Row) {
+	arity := 0
+	if len(rows) > 0 {
+		arity = len(rows[0])
+	} else {
+		arity = len(ts.Cols)
+	}
+	cols := make([]ColumnStats, arity)
+	vals := make([][]float64, arity)
+	distinct := make([]map[float64]struct{}, arity)
+	for i := range vals {
+		vals[i] = make([]float64, 0, len(rows))
+		distinct[i] = make(map[float64]struct{})
+	}
+	for _, row := range rows {
+		for i := 0; i < arity && i < len(row); i++ {
+			if row[i].IsNull() {
+				cols[i].NullCount++
+				continue
+			}
+			f := row[i].AsFloat()
+			vals[i] = append(vals[i], f)
+			if len(distinct[i]) < 1_000_000 {
+				distinct[i][f] = struct{}{}
+			}
+			cols[i].Sum += f
+		}
+	}
+	for i := range cols {
+		cols[i].Count = int64(len(vals[i])) + cols[i].NullCount
+		cols[i].Distinct = int64(len(distinct[i]))
+		if len(vals[i]) == 0 {
+			continue
+		}
+		sort.Float64s(vals[i])
+		cols[i].Min = vals[i][0]
+		cols[i].Max = vals[i][len(vals[i])-1]
+		cols[i].Bounds = equiDepthBounds(vals[i], HistogramBuckets)
+	}
+	ts.mu.Lock()
+	ts.RowCount = int64(len(rows))
+	ts.Cols = cols
+	ts.Version++
+	ts.mu.Unlock()
+}
+
+// equiDepthBounds computes bucket upper bounds over sorted values.
+func equiDepthBounds(sorted []float64, buckets int) []float64 {
+	if len(sorted) == 0 {
+		return nil
+	}
+	if buckets > len(sorted) {
+		buckets = len(sorted)
+	}
+	bounds := make([]float64, buckets)
+	for b := 0; b < buckets; b++ {
+		idx := (b + 1) * len(sorted) / buckets
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		} else if idx > 0 {
+			idx--
+		}
+		bounds[b] = sorted[idx]
+	}
+	return bounds
+}
+
+// NoteInsert incrementally folds one row into the statistics.
+func (ts *TableStats) NoteInsert(row rel.Row) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.RowCount++
+	ts.Version++
+	for i := 0; i < len(ts.Cols) && i < len(row); i++ {
+		c := &ts.Cols[i]
+		if row[i].IsNull() {
+			c.NullCount++
+			c.Count++
+			continue
+		}
+		f := row[i].AsFloat()
+		if c.Count == c.NullCount { // first non-null value
+			c.Min, c.Max = f, f
+		} else {
+			if f < c.Min {
+				c.Min = f
+			}
+			if f > c.Max {
+				c.Max = f
+			}
+		}
+		c.Count++
+		c.Sum += f
+	}
+}
+
+// NoteDelete incrementally removes one row's contribution (approximate: min,
+// max and histogram are not shrunk — matching real systems, which only fix
+// them on ANALYZE).
+func (ts *TableStats) NoteDelete(row rel.Row) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.RowCount > 0 {
+		ts.RowCount--
+	}
+	ts.Version++
+	for i := 0; i < len(ts.Cols) && i < len(row); i++ {
+		c := &ts.Cols[i]
+		if c.Count > 0 {
+			c.Count--
+		}
+		if row[i].IsNull() {
+			if c.NullCount > 0 {
+				c.NullCount--
+			}
+		} else {
+			c.Sum -= row[i].AsFloat()
+		}
+	}
+}
+
+// NoteUpdate folds an update as delete+insert on the changed columns.
+func (ts *TableStats) NoteUpdate(oldRow, newRow rel.Row) {
+	ts.NoteDelete(oldRow)
+	ts.NoteInsert(newRow)
+}
+
+// Rows returns the current row-count estimate.
+func (ts *TableStats) Rows() int64 {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	return ts.RowCount
+}
+
+// Col returns a copy of column i's statistics.
+func (ts *TableStats) Col(i int) ColumnStats {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	if i < 0 || i >= len(ts.Cols) {
+		return ColumnStats{}
+	}
+	c := ts.Cols[i]
+	c.Bounds = append([]float64(nil), c.Bounds...)
+	return c
+}
+
+// SelectivityEq estimates the selectivity of "col = v".
+func (ts *TableStats) SelectivityEq(col int, v float64) float64 {
+	c := ts.Col(col)
+	if c.Count == 0 || c.Distinct == 0 {
+		return 0.1
+	}
+	if v < c.Min || v > c.Max {
+		return 1.0 / float64(max64(c.Count, 1)) // likely absent
+	}
+	return 1.0 / float64(c.Distinct)
+}
+
+// SelectivityRange estimates the selectivity of lo <= col <= hi using the
+// equi-depth histogram (open bounds use ±Inf).
+func (ts *TableStats) SelectivityRange(col int, lo, hi float64) float64 {
+	c := ts.Col(col)
+	if c.Count == 0 {
+		return 0.3
+	}
+	if len(c.Bounds) == 0 {
+		// Uniformity fallback over [Min, Max].
+		width := c.Max - c.Min
+		if width <= 0 {
+			if lo <= c.Min && c.Min <= hi {
+				return 1
+			}
+			return 0
+		}
+		l := math.Max(lo, c.Min)
+		h := math.Min(hi, c.Max)
+		if h < l {
+			return 0
+		}
+		return (h - l) / width
+	}
+	n := float64(len(c.Bounds))
+	frac := (bucketPosition(c, hi, true) - bucketPosition(c, lo, false)) / n
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
+}
+
+// bucketPosition returns the fractional bucket index of value v — roughly,
+// how many buckets of mass lie below v. For an upper bound, v at or above
+// Max covers all buckets; for a lower bound, v at or below Min covers none.
+func bucketPosition(c ColumnStats, v float64, upper bool) float64 {
+	n := float64(len(c.Bounds))
+	if upper {
+		if math.IsInf(v, 1) || v >= c.Max {
+			return n
+		}
+		if v < c.Min {
+			return 0
+		}
+	} else {
+		if math.IsInf(v, -1) || v <= c.Min {
+			return 0
+		}
+		if v > c.Max {
+			return n
+		}
+	}
+	lo := c.Min
+	for i, ub := range c.Bounds {
+		if v <= ub {
+			width := ub - lo
+			if width <= 0 {
+				return float64(i + 1)
+			}
+			return float64(i) + (v-lo)/width
+		}
+		lo = ub
+	}
+	return n
+}
+
+// Divergence measures how far these statistics have drifted from a snapshot:
+// a symmetric histogram-mass difference in [0, 2] plus relative row-count
+// change. The monitor uses it to decide when the cost baseline's stats are
+// stale and when to refresh learned-model conditions.
+func Divergence(fresh, stale *TableStats) float64 {
+	fresh.mu.RLock()
+	defer fresh.mu.RUnlock()
+	stale.mu.RLock()
+	defer stale.mu.RUnlock()
+	var d float64
+	if fresh.RowCount+stale.RowCount > 0 {
+		d += math.Abs(float64(fresh.RowCount-stale.RowCount)) /
+			float64(max64(fresh.RowCount+stale.RowCount, 1))
+	}
+	n := len(fresh.Cols)
+	if len(stale.Cols) < n {
+		n = len(stale.Cols)
+	}
+	for i := 0; i < n; i++ {
+		f, s := fresh.Cols[i], stale.Cols[i]
+		if f.Count == 0 || s.Count == 0 {
+			continue
+		}
+		// Compare means and ranges, scale-normalized.
+		fm := f.Sum / float64(max64(f.Count-f.NullCount, 1))
+		sm := s.Sum / float64(max64(s.Count-s.NullCount, 1))
+		scale := math.Max(math.Abs(fm)+math.Abs(sm), 1e-9)
+		d += math.Abs(fm-sm) / scale / float64(n)
+		rangeF := f.Max - f.Min
+		rangeS := s.Max - s.Min
+		rscale := math.Max(rangeF+rangeS, 1e-9)
+		d += math.Abs(rangeF-rangeS) / rscale / float64(n)
+	}
+	return d
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

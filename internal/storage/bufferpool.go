@@ -1,0 +1,124 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+)
+
+// pageKey identifies a page across tables.
+type pageKey struct {
+	table int
+	page  uint32
+}
+
+// BufferPool is an LRU page cache accountant. All data actually lives in
+// process memory; the pool tracks which pages would be resident in a real
+// bounded buffer, producing the hit-ratio and per-table residency signals
+// that the learned query optimizer consumes as "buffer information"
+// (paper Fig. 5) and that the monitor watches for thrashing.
+type BufferPool struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // front = most recent; values are pageKey
+	index    map[pageKey]*list.Element
+
+	hits, misses uint64
+	perTable     map[int]int // resident pages per table
+}
+
+// NewBufferPool creates a pool that holds at most capacity pages.
+func NewBufferPool(capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		capacity: capacity,
+		lru:      list.New(),
+		index:    make(map[pageKey]*list.Element),
+		perTable: make(map[int]int),
+	}
+}
+
+// Touch records an access to (table, page), returning true on a buffer hit.
+// Misses admit the page, evicting the LRU page if at capacity.
+func (b *BufferPool) Touch(table int, page uint32, write bool) bool {
+	key := pageKey{table, page}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if el, ok := b.index[key]; ok {
+		b.lru.MoveToFront(el)
+		b.hits++
+		return true
+	}
+	b.misses++
+	if b.lru.Len() >= b.capacity {
+		back := b.lru.Back()
+		if back != nil {
+			victim := back.Value.(pageKey)
+			b.lru.Remove(back)
+			delete(b.index, victim)
+			b.perTable[victim.table]--
+		}
+	}
+	b.index[key] = b.lru.PushFront(key)
+	b.perTable[table]++
+	return false
+}
+
+// HitRatio returns hits/(hits+misses), or 1 when no accesses happened.
+func (b *BufferPool) HitRatio() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	total := b.hits + b.misses
+	if total == 0 {
+		return 1
+	}
+	return float64(b.hits) / float64(total)
+}
+
+// Stats returns cumulative hit and miss counts.
+func (b *BufferPool) Stats() (hits, misses uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.hits, b.misses
+}
+
+// ResidentPages returns how many pages of the table are currently cached.
+func (b *BufferPool) ResidentPages(table int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.perTable[table]
+}
+
+// ResidentFraction returns the cached fraction of a table given its total
+// page count (1 if the table has no pages).
+func (b *BufferPool) ResidentFraction(table, totalPages int) float64 {
+	if totalPages <= 0 {
+		return 1
+	}
+	f := float64(b.ResidentPages(table)) / float64(totalPages)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// Capacity returns the configured page capacity.
+func (b *BufferPool) Capacity() int { return b.capacity }
+
+// Len returns the number of currently resident pages.
+func (b *BufferPool) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lru.Len()
+}
+
+// Reset clears residency and counters (used between benchmark phases).
+func (b *BufferPool) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lru.Init()
+	b.index = make(map[pageKey]*list.Element)
+	b.perTable = make(map[int]int)
+	b.hits, b.misses = 0, 0
+}

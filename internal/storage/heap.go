@@ -1,0 +1,221 @@
+// Package storage implements the physical storage substrate: heap tables
+// organized as pages of MVCC version chains, and a buffer pool whose
+// residency statistics feed the learned query optimizer's "buffer info"
+// system-condition features (paper Fig. 5).
+package storage
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"neurdb/internal/rel"
+)
+
+// RowsPerPage is the heap page fan-out. Pages are the unit the buffer pool
+// accounts for.
+const RowsPerPage = 128
+
+// InfinityTS marks a version with no end timestamp (still live).
+const InfinityTS = math.MaxUint64
+
+// RowID locates a version chain within a heap.
+type RowID struct {
+	Page uint32
+	Slot uint32
+}
+
+// page is a fixed-capacity container of version-chain heads.
+type page struct {
+	id     uint32
+	chains []*Version
+}
+
+// Heap is an append-only paged table of MVCC version chains. A table-level
+// RWMutex guards structure; version-field mutation is coordinated by the
+// transaction manager, which serializes writers per row.
+type Heap struct {
+	mu      sync.RWMutex
+	TableID int
+	pages   []*page
+	free    []RowID // slots of fully-dead chains available for reuse
+	pool    *BufferPool
+	live    int64 // approximate live row count
+}
+
+// NewHeap creates an empty heap for the given table id, attached to an
+// optional buffer pool (nil means unaccounted access).
+func NewHeap(tableID int, pool *BufferPool) *Heap {
+	return &Heap{TableID: tableID, pool: pool}
+}
+
+// NumPages returns the current number of pages.
+func (h *Heap) NumPages() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.pages)
+}
+
+// LiveRows returns the approximate number of live rows.
+func (h *Heap) LiveRows() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.live
+}
+
+// Insert appends a new version chain with the given creator txn and returns
+// its RowID. BeginTS stays 0 until the creator commits.
+func (h *Heap) Insert(row rel.Row, xmin uint64) RowID {
+	v := NewVersion(row, xmin, nil)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.live++
+	if n := len(h.free); n > 0 {
+		id := h.free[n-1]
+		h.free = h.free[:n-1]
+		h.pages[id.Page].chains[id.Slot] = v
+		h.touch(id.Page, true)
+		return id
+	}
+	if len(h.pages) == 0 || len(h.pages[len(h.pages)-1].chains) >= RowsPerPage {
+		h.pages = append(h.pages, &page{id: uint32(len(h.pages))})
+	}
+	p := h.pages[len(h.pages)-1]
+	p.chains = append(p.chains, v)
+	id := RowID{Page: p.id, Slot: uint32(len(p.chains) - 1)}
+	h.touch(p.id, true)
+	return id
+}
+
+// Head returns the newest version at id, or nil.
+func (h *Heap) Head(id RowID) *Version {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if int(id.Page) >= len(h.pages) {
+		return nil
+	}
+	p := h.pages[id.Page]
+	if int(id.Slot) >= len(p.chains) {
+		return nil
+	}
+	h.touch(id.Page, false)
+	return p.chains[id.Slot]
+}
+
+// SetHead replaces the chain head at id (prepending a new version whose Next
+// must already link to the old head). Caller coordinates concurrency.
+func (h *Heap) SetHead(id RowID, v *Version) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.pages[id.Page].chains[id.Slot] = v
+	h.touch(id.Page, true)
+}
+
+// NoteDelete decrements the live-row estimate after a committed delete.
+func (h *Heap) NoteDelete() {
+	h.mu.Lock()
+	h.live--
+	h.mu.Unlock()
+}
+
+// Scan visits every version-chain head in heap order. The visitor receives
+// the RowID and chain head; returning false stops the scan. Page touches are
+// recorded against the buffer pool.
+func (h *Heap) Scan(visit func(RowID, *Version) bool) {
+	h.mu.RLock()
+	pages := h.pages
+	h.mu.RUnlock()
+	for _, p := range pages {
+		h.mu.RLock()
+		h.touch(p.id, false)
+		chains := p.chains
+		h.mu.RUnlock()
+		for slot, head := range chains {
+			if head == nil {
+				continue
+			}
+			if !visit(RowID{Page: p.id, Slot: uint32(slot)}, head) {
+				return
+			}
+		}
+	}
+}
+
+// Vacuum removes versions whose EndTS <= horizon and frees fully-dead chains.
+// It returns the number of versions reclaimed. The horizon is the oldest
+// snapshot timestamp still active.
+func (h *Heap) Vacuum(horizon uint64) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	reclaimed := 0
+	for _, p := range h.pages {
+		for slot, head := range p.chains {
+			if head == nil {
+				continue
+			}
+			// Trim dead tail versions.
+			for v := head; v != nil; v = v.Next() {
+				for n := v.Next(); n != nil && n.EndTS() <= horizon; n = v.Next() {
+					v.SetNext(n.Next())
+					reclaimed++
+				}
+			}
+			if head.EndTS() <= horizon && head.Next() == nil {
+				p.chains[slot] = nil
+				h.free = append(h.free, RowID{Page: p.id, Slot: uint32(slot)})
+				reclaimed++
+			}
+		}
+	}
+	return reclaimed
+}
+
+func (h *Heap) touch(pageID uint32, write bool) {
+	if h.pool != nil {
+		h.pool.Touch(h.TableID, pageID, write)
+	}
+}
+
+// String summarizes the heap for debugging.
+func (h *Heap) String() string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return fmt.Sprintf("heap{table=%d pages=%d live=%d}", h.TableID, len(h.pages), h.live)
+}
+
+// Cursor iterates version-chain heads in heap order without holding locks
+// across calls (each page's chain slice is snapshotted under RLock).
+type Cursor struct {
+	h      *Heap
+	page   int
+	slot   int
+	chains []*Version
+}
+
+// NewCursor returns a cursor positioned before the first row.
+func (h *Heap) NewCursor() *Cursor { return &Cursor{h: h, page: -1} }
+
+// Next advances and returns the next chain head, or ok=false at the end.
+func (c *Cursor) Next() (RowID, *Version, bool) {
+	for {
+		if c.chains == nil || c.slot >= len(c.chains) {
+			c.page++
+			c.slot = 0
+			c.h.mu.RLock()
+			if c.page >= len(c.h.pages) {
+				c.h.mu.RUnlock()
+				return RowID{}, nil, false
+			}
+			c.h.touch(uint32(c.page), false)
+			c.chains = c.h.pages[c.page].chains
+			c.h.mu.RUnlock()
+			continue
+		}
+		head := c.chains[c.slot]
+		id := RowID{Page: uint32(c.page), Slot: uint32(c.slot)}
+		c.slot++
+		if head != nil {
+			return id, head, true
+		}
+	}
+}

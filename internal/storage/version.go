@@ -1,0 +1,56 @@
+package storage
+
+import (
+	"sync/atomic"
+
+	"neurdb/internal/rel"
+)
+
+// Version is one MVCC version of a row. Visibility fields follow the
+// classic design: XMin/XMax are creating/deleting transaction ids, and
+// BeginTS/EndTS are the corresponding commit timestamps once known. XMin and
+// Data are immutable after publication; the mutable fields use atomics so
+// readers never block writers.
+type Version struct {
+	Data rel.Row
+	XMin uint64 // creating txn id (immutable)
+
+	xmax    atomic.Uint64 // deleting txn id (0 = none)
+	beginTS atomic.Uint64 // commit ts of creator (0 = uncommitted)
+	endTS   atomic.Uint64 // commit ts of deleter (InfinityTS = live)
+	next    atomic.Pointer[Version]
+}
+
+// NewVersion creates a live, uncommitted version.
+func NewVersion(data rel.Row, xmin uint64, next *Version) *Version {
+	v := &Version{Data: data, XMin: xmin}
+	v.endTS.Store(InfinityTS)
+	if next != nil {
+		v.next.Store(next)
+	}
+	return v
+}
+
+// XMax returns the deleting txn id (0 if none).
+func (v *Version) XMax() uint64 { return v.xmax.Load() }
+
+// SetXMax claims or clears the deleter slot.
+func (v *Version) SetXMax(x uint64) { v.xmax.Store(x) }
+
+// BeginTS returns the creator's commit timestamp (0 = uncommitted).
+func (v *Version) BeginTS() uint64 { return v.beginTS.Load() }
+
+// SetBeginTS stamps the creator's commit timestamp.
+func (v *Version) SetBeginTS(ts uint64) { v.beginTS.Store(ts) }
+
+// EndTS returns the deleter's commit timestamp (InfinityTS = live).
+func (v *Version) EndTS() uint64 { return v.endTS.Load() }
+
+// SetEndTS stamps the deleter's commit timestamp.
+func (v *Version) SetEndTS(ts uint64) { v.endTS.Store(ts) }
+
+// Next returns the older version in the chain, or nil.
+func (v *Version) Next() *Version { return v.next.Load() }
+
+// SetNext relinks the chain (used by vacuum).
+func (v *Version) SetNext(n *Version) { v.next.Store(n) }

@@ -1,0 +1,568 @@
+// Package txn implements the SQL engine's transaction manager: MVCC
+// snapshot isolation with first-updater-wins write conflicts, plus a
+// serializable mode based on rw-antidependency tracking in the spirit of
+// PostgreSQL's Serializable Snapshot Isolation (Ports & Grittner, VLDB'12).
+// This is the engine the paper's "PostgreSQL" baseline maps onto; the
+// high-throughput learned-CC testbed lives in internal/cc.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"neurdb/internal/rel"
+	"neurdb/internal/storage"
+)
+
+// Status is the lifecycle state of a transaction.
+type Status uint8
+
+// Transaction states.
+const (
+	StatusActive Status = iota
+	StatusCommitted
+	StatusAborted
+)
+
+// ErrWriteConflict is returned when first-updater-wins detects a concurrent
+// writer on the same row.
+var ErrWriteConflict = errors.New("txn: write-write conflict")
+
+// ErrSerializationFailure is returned when SSI detects a dangerous structure
+// (the transaction is a pivot with both in- and out-rw-antidependencies).
+var ErrSerializationFailure = errors.New("txn: serialization failure (SSI)")
+
+// ErrTxnFinished is returned when operating on a committed/aborted txn.
+var ErrTxnFinished = errors.New("txn: transaction already finished")
+
+// IsolationLevel selects the concurrency-control behaviour.
+type IsolationLevel uint8
+
+// Supported isolation levels.
+const (
+	Snapshot     IsolationLevel = iota // SI: first-updater-wins only
+	Serializable                       // SI + SSI rw-antidependency tracking
+)
+
+type rowKey struct {
+	table int
+	id    storage.RowID
+}
+
+type writeRec struct {
+	heap    *storage.Heap
+	id      storage.RowID
+	created *storage.Version // new version we prepended (nil for delete)
+	old     *storage.Version // previous head (nil for insert)
+	kind    byte             // 'i', 'u', 'd'
+}
+
+// Txn is a transaction handle.
+type Txn struct {
+	ID       uint64
+	StartTS  uint64
+	Level    IsolationLevel
+	ReadOnly bool
+
+	mu       sync.Mutex
+	status   Status
+	commitTS uint64
+	writes   []writeRec
+	reads    []rowKey          // registered SIREAD entries (serializable only)
+	inFrom   map[*Txn]struct{} // transactions with rw-antidependency into us
+	outTo    map[*Txn]struct{} // transactions we have rw-antidependency out to
+	outToOld bool              // out-conflict to an already-committed writer
+}
+
+// noteIn records an incoming rw-antidependency from r (r read, we wrote).
+func (t *Txn) noteIn(r *Txn) {
+	t.mu.Lock()
+	if t.inFrom == nil {
+		t.inFrom = make(map[*Txn]struct{})
+	}
+	t.inFrom[r] = struct{}{}
+	t.mu.Unlock()
+}
+
+// noteOut records an outgoing rw-antidependency to w (we read, w wrote).
+func (t *Txn) noteOut(w *Txn) {
+	t.mu.Lock()
+	if t.outTo == nil {
+		t.outTo = make(map[*Txn]struct{})
+	}
+	t.outTo[w] = struct{}{}
+	t.mu.Unlock()
+}
+
+// isPivot reports whether t currently has both a live incoming and a live
+// outgoing rw-antidependency — the dangerous structure SSI aborts on.
+// Edges to aborted transactions do not count.
+func (t *Txn) isPivot() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	in := false
+	for c := range t.inFrom {
+		if c.Status() != StatusAborted {
+			in = true
+			break
+		}
+	}
+	out := t.outToOld
+	if !out {
+		for c := range t.outTo {
+			if c.Status() != StatusAborted {
+				out = true
+				break
+			}
+		}
+	}
+	return in && out
+}
+
+// Status returns the transaction status.
+func (t *Txn) Status() Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.status
+}
+
+// CommitTS returns the commit timestamp (0 if not committed).
+func (t *Txn) CommitTS() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.commitTS
+}
+
+// Manager coordinates transactions over heaps.
+type Manager struct {
+	mu       sync.RWMutex
+	nextID   uint64
+	nextTS   uint64
+	active   map[uint64]*Txn
+	statusOf map[uint64]Status // finished txns (bounded via pruning)
+	commitOf map[uint64]uint64
+
+	writeMu sync.Mutex // serializes write claims, commits, aborts
+
+	readersMu sync.Mutex
+	readers   map[rowKey]map[*Txn]struct{} // SIREAD registry
+
+	commits, aborts, ssiAborts, wwAborts uint64
+}
+
+// NewManager creates a transaction manager.
+func NewManager() *Manager {
+	return &Manager{
+		nextID:   0,
+		nextTS:   0,
+		active:   make(map[uint64]*Txn),
+		statusOf: make(map[uint64]Status),
+		commitOf: make(map[uint64]uint64),
+		readers:  make(map[rowKey]map[*Txn]struct{}),
+	}
+}
+
+// Begin starts a transaction at the given isolation level.
+func (m *Manager) Begin(level IsolationLevel, readOnly bool) *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	t := &Txn{
+		ID:       m.nextID,
+		StartTS:  m.nextTS,
+		Level:    level,
+		ReadOnly: readOnly,
+		status:   StatusActive,
+	}
+	m.active[t.ID] = t
+	return t
+}
+
+// Stats reports cumulative commit/abort counters; ssi and ww break down the
+// abort causes attributable to serialization failures and write conflicts.
+func (m *Manager) Stats() (commits, aborts, ssiAborts, wwAborts uint64) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.commits, m.aborts, m.ssiAborts, m.wwAborts
+}
+
+// OldestActiveTS returns the snapshot horizon for vacuum: the minimum
+// StartTS among active transactions, or the current clock if none.
+func (m *Manager) OldestActiveTS() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	horizon := m.nextTS
+	for _, t := range m.active {
+		if t.StartTS < horizon {
+			horizon = t.StartTS
+		}
+	}
+	return horizon
+}
+
+// committedAt reports whether xid committed, and its commit timestamp.
+func (m *Manager) committedAt(xid uint64) (uint64, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if s, ok := m.statusOf[xid]; ok && s == StatusCommitted {
+		return m.commitOf[xid], true
+	}
+	return 0, false
+}
+
+// visibleVersion walks the chain from head and returns the first version
+// visible to t under its snapshot, along with whether a newer committed
+// version was skipped (used for SSI out-conflict detection).
+func (m *Manager) visibleVersion(head *storage.Version, t *Txn) (*storage.Version, *storage.Version) {
+	var skippedNewer *storage.Version
+	for v := head; v != nil; v = v.Next() {
+		if m.versionVisible(v, t) {
+			return v, skippedNewer
+		}
+		// Track a committed newer version that our snapshot skips.
+		if bts := v.BeginTS(); bts != 0 && bts > t.StartTS {
+			skippedNewer = v
+		}
+	}
+	return nil, skippedNewer
+}
+
+func (m *Manager) versionVisible(v *storage.Version, t *Txn) bool {
+	// Created by self: visible unless also deleted by self.
+	if v.XMin == t.ID {
+		return v.XMax() != t.ID
+	}
+	begin := v.BeginTS()
+	if begin == 0 {
+		// Creator not stamped: check status (it may have committed between
+		// our chain read and now; the stamp is applied before the status is
+		// published, so a missing stamp means not committed).
+		ts, ok := m.committedAt(v.XMin)
+		if !ok {
+			return false
+		}
+		begin = ts
+	}
+	if begin > t.StartTS {
+		return false
+	}
+	// Deleted?
+	xmax := v.XMax()
+	if xmax == 0 {
+		return true
+	}
+	if xmax == t.ID {
+		return false // we deleted it ourselves
+	}
+	end := v.EndTS()
+	if end == storage.InfinityTS {
+		ts, ok := m.committedAt(xmax)
+		if !ok {
+			return true // deleter still active/aborted: still visible to us
+		}
+		end = ts
+	}
+	return end > t.StartTS
+}
+
+// Read returns the row visible to t at id, or ok=false.
+func (m *Manager) Read(h *storage.Heap, id storage.RowID, t *Txn) (rel.Row, bool) {
+	head := h.Head(id)
+	if head == nil {
+		return nil, false
+	}
+	v, skipped := m.visibleVersion(head, t)
+	if t.Level == Serializable && !t.ReadOnly {
+		m.registerRead(h.TableID, id, t)
+		if skipped != nil {
+			// We read under a snapshot that excludes a committed newer
+			// version: rw-antidependency t -> writer(skipped).
+			m.flagConflict(t, skipped.XMin)
+		}
+		// Also if the visible version carries an uncommitted deleter, the
+		// write already claimed it; reading still creates t -> deleter.
+		if v != nil {
+			if xmax := v.XMax(); xmax != 0 && xmax != t.ID {
+				m.flagConflict(t, xmax)
+			}
+		}
+	}
+	if v == nil {
+		return nil, false
+	}
+	return v.Data, true
+}
+
+// registerRead adds an SIREAD entry for the row.
+func (m *Manager) registerRead(table int, id storage.RowID, t *Txn) {
+	rk := rowKey{table, id}
+	m.readersMu.Lock()
+	set, ok := m.readers[rk]
+	if !ok {
+		set = make(map[*Txn]struct{})
+		m.readers[rk] = set
+	}
+	if _, dup := set[t]; !dup {
+		set[t] = struct{}{}
+		t.mu.Lock()
+		t.reads = append(t.reads, rk)
+		t.mu.Unlock()
+	}
+	m.readersMu.Unlock()
+}
+
+// flagConflict records a rw-antidependency from reader to the writer xid.
+func (m *Manager) flagConflict(reader *Txn, writerID uint64) {
+	m.mu.RLock()
+	w := m.active[writerID]
+	m.mu.RUnlock()
+	if w != nil {
+		reader.noteOut(w)
+		w.noteIn(reader)
+		return
+	}
+	// Writer already finished; if it committed, the out-edge is permanent.
+	if _, committed := m.committedAt(writerID); committed {
+		reader.mu.Lock()
+		reader.outToOld = true
+		reader.mu.Unlock()
+	}
+}
+
+// Insert adds a row as part of t.
+func (m *Manager) Insert(h *storage.Heap, row rel.Row, t *Txn) (storage.RowID, error) {
+	if t.Status() != StatusActive {
+		return storage.RowID{}, ErrTxnFinished
+	}
+	id := h.Insert(row, t.ID)
+	created := h.Head(id)
+	t.mu.Lock()
+	t.writes = append(t.writes, writeRec{heap: h, id: id, created: created, kind: 'i'})
+	t.mu.Unlock()
+	return id, nil
+}
+
+// Update replaces the visible version of a row with newRow.
+func (m *Manager) Update(h *storage.Heap, id storage.RowID, newRow rel.Row, t *Txn) error {
+	return m.modify(h, id, newRow, t, 'u')
+}
+
+// Delete removes the visible version of a row.
+func (m *Manager) Delete(h *storage.Heap, id storage.RowID, t *Txn) error {
+	return m.modify(h, id, nil, t, 'd')
+}
+
+func (m *Manager) modify(h *storage.Heap, id storage.RowID, newRow rel.Row, t *Txn, kind byte) error {
+	if t.Status() != StatusActive {
+		return ErrTxnFinished
+	}
+	m.writeMu.Lock()
+	defer m.writeMu.Unlock()
+	head := h.Head(id)
+	if head == nil {
+		return fmt.Errorf("txn: modify missing row %v", id)
+	}
+	vis, _ := m.visibleVersion(head, t)
+	if vis == nil {
+		return ErrWriteConflict // row gone or not yet visible
+	}
+	// First-updater-wins: if someone else already claimed this version.
+	if xmax := vis.XMax(); xmax != 0 && xmax != t.ID {
+		if _, committed := m.committedAt(xmax); committed {
+			return ErrWriteConflict // deleter committed after our snapshot
+		}
+		return ErrWriteConflict // concurrent active writer
+	}
+	// If the head is newer than our visible version, a concurrent writer
+	// already installed a successor: snapshot write conflict.
+	if vis != head && head.XMin != t.ID {
+		return ErrWriteConflict
+	}
+	// SSI: readers of this row have rw-antidependency into us.
+	if t.Level == Serializable {
+		m.flagReaders(h.TableID, id, t)
+	}
+	// Claim.
+	vis.SetXMax(t.ID)
+	var created *storage.Version
+	if kind == 'u' {
+		created = storage.NewVersion(newRow, t.ID, head)
+		h.SetHead(id, created)
+	}
+	t.mu.Lock()
+	t.writes = append(t.writes, writeRec{heap: h, id: id, created: created, old: vis, kind: kind})
+	t.mu.Unlock()
+	return nil
+}
+
+// flagReaders marks rw-antidependencies reader -> t for all registered
+// readers of the row.
+func (m *Manager) flagReaders(table int, id storage.RowID, t *Txn) {
+	rk := rowKey{table, id}
+	m.readersMu.Lock()
+	set := m.readers[rk]
+	var rs []*Txn
+	for r := range set {
+		if r != t {
+			rs = append(rs, r)
+		}
+	}
+	m.readersMu.Unlock()
+	for _, r := range rs {
+		r.noteOut(t)
+		t.noteIn(r)
+	}
+}
+
+// Commit finalizes t. Under Serializable it aborts pivots (both in- and
+// out-conflicts), returning ErrSerializationFailure.
+func (m *Manager) Commit(t *Txn) error {
+	t.mu.Lock()
+	if t.status != StatusActive {
+		t.mu.Unlock()
+		return ErrTxnFinished
+	}
+	t.mu.Unlock()
+	if t.Level == Serializable && t.isPivot() {
+		m.abortInternal(t, true)
+		return ErrSerializationFailure
+	}
+
+	m.writeMu.Lock()
+	m.mu.Lock()
+	m.nextTS++
+	cts := m.nextTS
+	m.mu.Unlock()
+
+	t.mu.Lock()
+	for _, w := range t.writes {
+		switch w.kind {
+		case 'i':
+			w.created.SetBeginTS(cts)
+		case 'u':
+			w.created.SetBeginTS(cts)
+			w.old.SetEndTS(cts)
+		case 'd':
+			w.old.SetEndTS(cts)
+			w.heap.NoteDelete()
+		}
+	}
+	t.status = StatusCommitted
+	t.commitTS = cts
+	t.mu.Unlock()
+
+	m.mu.Lock()
+	m.statusOf[t.ID] = StatusCommitted
+	m.commitOf[t.ID] = cts
+	delete(m.active, t.ID)
+	m.commits++
+	m.mu.Unlock()
+	m.writeMu.Unlock()
+
+	m.unregisterReads(t)
+	return nil
+}
+
+// Abort rolls back t.
+func (m *Manager) Abort(t *Txn) {
+	m.abortInternal(t, false)
+}
+
+func (m *Manager) abortInternal(t *Txn, ssi bool) {
+	t.mu.Lock()
+	if t.status != StatusActive {
+		t.mu.Unlock()
+		return
+	}
+	t.status = StatusAborted
+	writes := t.writes
+	t.writes = nil
+	t.mu.Unlock()
+
+	m.writeMu.Lock()
+	// Undo in reverse order.
+	for i := len(writes) - 1; i >= 0; i-- {
+		w := writes[i]
+		switch w.kind {
+		case 'i':
+			// Mark the inserted version dead-before-birth so no snapshot
+			// sees it and vacuum can reclaim the slot.
+			w.created.SetXMax(t.ID)
+			w.created.SetBeginTS(1)
+			w.created.SetEndTS(0)
+			w.heap.NoteDelete()
+		case 'u':
+			// Restore old head, clear claim.
+			w.heap.SetHead(w.id, w.old)
+			w.old.SetXMax(0)
+		case 'd':
+			w.old.SetXMax(0)
+		}
+	}
+	m.writeMu.Unlock()
+
+	m.mu.Lock()
+	m.statusOf[t.ID] = StatusAborted
+	delete(m.active, t.ID)
+	m.aborts++
+	if ssi {
+		m.ssiAborts++
+	} else {
+		m.wwAborts++
+	}
+	m.mu.Unlock()
+
+	m.unregisterReads(t)
+}
+
+// unregisterReads drops the txn's SIREAD entries.
+//
+// This is a deliberate simplification of PostgreSQL SSI, which retains
+// SIREAD locks of committed transactions until all overlapping transactions
+// finish; dropping them at finish trades some anomaly coverage for
+// simplicity. Classic two-transaction write skew is still detected (both
+// participants are active when the conflicting writes happen).
+func (m *Manager) unregisterReads(t *Txn) {
+	t.mu.Lock()
+	reads := t.reads
+	t.reads = nil
+	t.mu.Unlock()
+	if len(reads) == 0 {
+		return
+	}
+	m.readersMu.Lock()
+	for _, rk := range reads {
+		if set, ok := m.readers[rk]; ok {
+			delete(set, t)
+			if len(set) == 0 {
+				delete(m.readers, rk)
+			}
+		}
+	}
+	m.readersMu.Unlock()
+}
+
+// ReadHead is Read for callers that already hold the chain head (scans),
+// avoiding a second heap lookup. Semantics match Read.
+func (m *Manager) ReadHead(table int, id storage.RowID, head *storage.Version, t *Txn) (rel.Row, bool) {
+	if head == nil {
+		return nil, false
+	}
+	v, skipped := m.visibleVersion(head, t)
+	if t.Level == Serializable && !t.ReadOnly {
+		m.registerRead(table, id, t)
+		if skipped != nil {
+			m.flagConflict(t, skipped.XMin)
+		}
+		if v != nil {
+			if xmax := v.XMax(); xmax != 0 && xmax != t.ID {
+				m.flagConflict(t, xmax)
+			}
+		}
+	}
+	if v == nil {
+		return nil, false
+	}
+	return v.Data, true
+}

@@ -1,0 +1,443 @@
+package txn
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"neurdb/internal/rel"
+	"neurdb/internal/storage"
+)
+
+func newHeap() *storage.Heap { return storage.NewHeap(1, nil) }
+
+func TestInsertVisibleAfterCommit(t *testing.T) {
+	m := NewManager()
+	h := newHeap()
+
+	t1 := m.Begin(Snapshot, false)
+	id, err := m.Insert(h, rel.Row{rel.Int(1)}, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Own insert visible to self.
+	if _, ok := m.Read(h, id, t1); !ok {
+		t.Fatal("own insert invisible")
+	}
+	// Invisible to a concurrent snapshot.
+	t2 := m.Begin(Snapshot, true)
+	if _, ok := m.Read(h, id, t2); ok {
+		t.Fatal("uncommitted insert visible to other txn")
+	}
+	if err := m.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+	// Still invisible to t2 (snapshot taken before commit).
+	if _, ok := m.Read(h, id, t2); ok {
+		t.Fatal("insert visible to pre-commit snapshot")
+	}
+	// Visible to a new txn.
+	t3 := m.Begin(Snapshot, true)
+	row, ok := m.Read(h, id, t3)
+	if !ok || row[0].I != 1 {
+		t.Fatal("committed insert invisible to new txn")
+	}
+}
+
+func TestUpdatePreservesOldSnapshot(t *testing.T) {
+	m := NewManager()
+	h := newHeap()
+
+	setup := m.Begin(Snapshot, false)
+	id, _ := m.Insert(h, rel.Row{rel.Int(10)}, setup)
+	if err := m.Commit(setup); err != nil {
+		t.Fatal(err)
+	}
+
+	reader := m.Begin(Snapshot, true) // snapshot before update
+	writer := m.Begin(Snapshot, false)
+	if err := m.Update(h, id, rel.Row{rel.Int(20)}, writer); err != nil {
+		t.Fatal(err)
+	}
+	// Writer sees own new value.
+	if row, ok := m.Read(h, id, writer); !ok || row[0].I != 20 {
+		t.Fatal("writer does not see own update")
+	}
+	// Reader still sees the old value, before and after the commit.
+	if row, ok := m.Read(h, id, reader); !ok || row[0].I != 10 {
+		t.Fatal("reader snapshot broken before commit")
+	}
+	if err := m.Commit(writer); err != nil {
+		t.Fatal(err)
+	}
+	if row, ok := m.Read(h, id, reader); !ok || row[0].I != 10 {
+		t.Fatal("reader snapshot broken after commit")
+	}
+	after := m.Begin(Snapshot, true)
+	if row, ok := m.Read(h, id, after); !ok || row[0].I != 20 {
+		t.Fatal("new txn does not see update")
+	}
+}
+
+func TestDeleteVisibility(t *testing.T) {
+	m := NewManager()
+	h := newHeap()
+	setup := m.Begin(Snapshot, false)
+	id, _ := m.Insert(h, rel.Row{rel.Int(1)}, setup)
+	m.Commit(setup)
+
+	before := m.Begin(Snapshot, true)
+	deleter := m.Begin(Snapshot, false)
+	if err := m.Delete(h, id, deleter); err != nil {
+		t.Fatal(err)
+	}
+	// Deleter no longer sees the row.
+	if _, ok := m.Read(h, id, deleter); ok {
+		t.Fatal("deleter still sees deleted row")
+	}
+	m.Commit(deleter)
+	// Pre-delete snapshot still sees it.
+	if _, ok := m.Read(h, id, before); !ok {
+		t.Fatal("old snapshot lost deleted row")
+	}
+	// New txns don't.
+	after := m.Begin(Snapshot, true)
+	if _, ok := m.Read(h, id, after); ok {
+		t.Fatal("deleted row visible to new txn")
+	}
+	if h.LiveRows() != 0 {
+		t.Fatalf("live rows = %d", h.LiveRows())
+	}
+}
+
+func TestWriteWriteConflict(t *testing.T) {
+	m := NewManager()
+	h := newHeap()
+	setup := m.Begin(Snapshot, false)
+	id, _ := m.Insert(h, rel.Row{rel.Int(1)}, setup)
+	m.Commit(setup)
+
+	t1 := m.Begin(Snapshot, false)
+	t2 := m.Begin(Snapshot, false)
+	if err := m.Update(h, id, rel.Row{rel.Int(2)}, t1); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent writer must fail (first-updater-wins, no-wait).
+	if err := m.Update(h, id, rel.Row{rel.Int(3)}, t2); !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("expected write conflict, got %v", err)
+	}
+	m.Commit(t1)
+	// t2's snapshot predates t1's commit: still a conflict.
+	if err := m.Update(h, id, rel.Row{rel.Int(3)}, t2); !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("expected post-commit conflict, got %v", err)
+	}
+	m.Abort(t2)
+	// A fresh txn can update.
+	t3 := m.Begin(Snapshot, false)
+	if err := m.Update(h, id, rel.Row{rel.Int(4)}, t3); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(t3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortRollsBack(t *testing.T) {
+	m := NewManager()
+	h := newHeap()
+	setup := m.Begin(Snapshot, false)
+	id, _ := m.Insert(h, rel.Row{rel.Int(1)}, setup)
+	m.Commit(setup)
+
+	t1 := m.Begin(Snapshot, false)
+	m.Update(h, id, rel.Row{rel.Int(99)}, t1)
+	insID, _ := m.Insert(h, rel.Row{rel.Int(777)}, t1)
+	m.Abort(t1)
+
+	t2 := m.Begin(Snapshot, true)
+	if row, ok := m.Read(h, id, t2); !ok || row[0].I != 1 {
+		t.Fatal("update not rolled back")
+	}
+	if _, ok := m.Read(h, insID, t2); ok {
+		t.Fatal("aborted insert visible")
+	}
+	// After abort, the row is writable again.
+	t3 := m.Begin(Snapshot, false)
+	if err := m.Update(h, id, rel.Row{rel.Int(2)}, t3); err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(t3)
+	// Abort of delete restores writability too.
+	t4 := m.Begin(Snapshot, false)
+	if err := m.Delete(h, id, t4); err != nil {
+		t.Fatal(err)
+	}
+	m.Abort(t4)
+	t5 := m.Begin(Snapshot, false)
+	if row, ok := m.Read(h, id, t5); !ok || row[0].I != 2 {
+		t.Fatal("aborted delete lost row")
+	}
+	if err := m.Delete(h, id, t5); err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(t5)
+}
+
+func TestDoubleUpdateSameTxn(t *testing.T) {
+	m := NewManager()
+	h := newHeap()
+	setup := m.Begin(Snapshot, false)
+	id, _ := m.Insert(h, rel.Row{rel.Int(1)}, setup)
+	m.Commit(setup)
+
+	t1 := m.Begin(Snapshot, false)
+	if err := m.Update(h, id, rel.Row{rel.Int(2)}, t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(h, id, rel.Row{rel.Int(3)}, t1); err != nil {
+		t.Fatal(err)
+	}
+	if row, ok := m.Read(h, id, t1); !ok || row[0].I != 3 {
+		t.Fatal("second update not visible to self")
+	}
+	m.Commit(t1)
+	t2 := m.Begin(Snapshot, true)
+	if row, ok := m.Read(h, id, t2); !ok || row[0].I != 3 {
+		t.Fatal("final value wrong")
+	}
+}
+
+func TestFinishedTxnErrors(t *testing.T) {
+	m := NewManager()
+	h := newHeap()
+	t1 := m.Begin(Snapshot, false)
+	m.Commit(t1)
+	if _, err := m.Insert(h, rel.Row{rel.Int(1)}, t1); !errors.Is(err, ErrTxnFinished) {
+		t.Fatal("insert on finished txn should fail")
+	}
+	if err := m.Commit(t1); !errors.Is(err, ErrTxnFinished) {
+		t.Fatal("double commit should fail")
+	}
+	m.Abort(t1) // no-op, must not panic
+	if t1.Status() != StatusCommitted {
+		t.Fatal("abort after commit changed status")
+	}
+	if t1.CommitTS() == 0 {
+		t.Fatal("commit ts missing")
+	}
+}
+
+func TestSSIWriteSkewPrevented(t *testing.T) {
+	// Classic write skew: t1 reads A and B, writes A; t2 reads A and B,
+	// writes B. Under SI both commit (non-serializable); under SSI at least
+	// one must abort.
+	m := NewManager()
+	h := newHeap()
+	setup := m.Begin(Serializable, false)
+	idA, _ := m.Insert(h, rel.Row{rel.Int(50)}, setup)
+	idB, _ := m.Insert(h, rel.Row{rel.Int(50)}, setup)
+	if err := m.Commit(setup); err != nil {
+		t.Fatal(err)
+	}
+
+	t1 := m.Begin(Serializable, false)
+	t2 := m.Begin(Serializable, false)
+	m.Read(h, idA, t1)
+	m.Read(h, idB, t1)
+	m.Read(h, idA, t2)
+	m.Read(h, idB, t2)
+	if err := m.Update(h, idA, rel.Row{rel.Int(-10)}, t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(h, idB, rel.Row{rel.Int(-10)}, t2); err != nil {
+		t.Fatal(err)
+	}
+	err1 := m.Commit(t1)
+	err2 := m.Commit(t2)
+	if err1 == nil && err2 == nil {
+		t.Fatal("write skew committed on both sides under SSI")
+	}
+	if err1 != nil && err2 != nil {
+		t.Fatal("SSI aborted both sides; expected one survivor")
+	}
+	_, _, ssi, _ := m.Stats()
+	if ssi == 0 {
+		t.Fatal("ssi abort counter not incremented")
+	}
+}
+
+func TestSSIReadAfterCommittedWriteConflict(t *testing.T) {
+	// Reader's snapshot skips a newer committed version: out-conflict to an
+	// already-committed writer must be recorded via outToOld.
+	m := NewManager()
+	h := newHeap()
+	setup := m.Begin(Serializable, false)
+	id, _ := m.Insert(h, rel.Row{rel.Int(1)}, setup)
+	other, _ := m.Insert(h, rel.Row{rel.Int(5)}, setup)
+	m.Commit(setup)
+
+	t1 := m.Begin(Serializable, false) // snapshot now
+	w := m.Begin(Serializable, false)
+	if err := m.Update(h, id, rel.Row{rel.Int(2)}, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(w); err != nil {
+		t.Fatal(err)
+	}
+	// t1 reads the row: its snapshot excludes w's committed version.
+	if row, ok := m.Read(h, id, t1); !ok || row[0].I != 1 {
+		t.Fatal("t1 should read old version")
+	}
+	t1.mu.Lock()
+	outOld := t1.outToOld
+	t1.mu.Unlock()
+	if !outOld {
+		t.Fatal("expected permanent out-conflict after reading under stale snapshot")
+	}
+	// Now give t1 an in-conflict too: t3 reads a row t1 then writes.
+	t3 := m.Begin(Serializable, false)
+	m.Read(h, other, t3)
+	if err := m.Update(h, other, rel.Row{rel.Int(6)}, t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(t1); !errors.Is(err, ErrSerializationFailure) {
+		t.Fatalf("pivot should abort, got %v", err)
+	}
+	m.Abort(t3)
+}
+
+func TestSnapshotLevelAllowsWriteSkew(t *testing.T) {
+	// Sanity check that Snapshot (non-serializable) permits write skew —
+	// this is the anomaly SSI exists to prevent.
+	m := NewManager()
+	h := newHeap()
+	setup := m.Begin(Snapshot, false)
+	idA, _ := m.Insert(h, rel.Row{rel.Int(50)}, setup)
+	idB, _ := m.Insert(h, rel.Row{rel.Int(50)}, setup)
+	m.Commit(setup)
+
+	t1 := m.Begin(Snapshot, false)
+	t2 := m.Begin(Snapshot, false)
+	m.Read(h, idA, t1)
+	m.Read(h, idB, t1)
+	m.Read(h, idA, t2)
+	m.Read(h, idB, t2)
+	m.Update(h, idA, rel.Row{rel.Int(-10)}, t1)
+	m.Update(h, idB, rel.Row{rel.Int(-10)}, t2)
+	if err := m.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(t2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentTransfersConserveTotal(t *testing.T) {
+	// Bank-transfer invariant under concurrent snapshot txns with retries:
+	// the total balance is conserved.
+	m := NewManager()
+	h := newHeap()
+	const accounts = 20
+	const total = int64(accounts * 100)
+	ids := make([]storage.RowID, accounts)
+	setup := m.Begin(Snapshot, false)
+	for i := range ids {
+		ids[i], _ = m.Insert(h, rel.Row{rel.Int(100)}, setup)
+	}
+	m.Commit(setup)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 100; i++ {
+				from, to := r.Intn(accounts), r.Intn(accounts)
+				if from == to {
+					continue
+				}
+				amt := int64(r.Intn(10))
+				tx := m.Begin(Snapshot, false)
+				rf, ok1 := m.Read(h, ids[from], tx)
+				rt, ok2 := m.Read(h, ids[to], tx)
+				if !ok1 || !ok2 {
+					m.Abort(tx)
+					continue
+				}
+				if m.Update(h, ids[from], rel.Row{rel.Int(rf[0].I - amt)}, tx) != nil {
+					m.Abort(tx)
+					continue
+				}
+				if m.Update(h, ids[to], rel.Row{rel.Int(rt[0].I + amt)}, tx) != nil {
+					m.Abort(tx)
+					continue
+				}
+				m.Commit(tx)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+
+	check := m.Begin(Snapshot, true)
+	var sum int64
+	for _, id := range ids {
+		row, ok := m.Read(h, id, check)
+		if !ok {
+			t.Fatal("account disappeared")
+		}
+		sum += row[0].I
+	}
+	if sum != total {
+		t.Fatalf("total = %d, want %d", sum, total)
+	}
+	commits, aborts, _, _ := m.Stats()
+	if commits == 0 {
+		t.Fatal("no commits recorded")
+	}
+	t.Logf("commits=%d aborts=%d", commits, aborts)
+}
+
+func TestVacuumIntegration(t *testing.T) {
+	m := NewManager()
+	h := newHeap()
+	setup := m.Begin(Snapshot, false)
+	id, _ := m.Insert(h, rel.Row{rel.Int(1)}, setup)
+	m.Commit(setup)
+	for i := 0; i < 5; i++ {
+		tx := m.Begin(Snapshot, false)
+		if err := m.Update(h, id, rel.Row{rel.Int(int64(i))}, tx); err != nil {
+			t.Fatal(err)
+		}
+		m.Commit(tx)
+	}
+	// Version chain should have 6 versions before vacuum.
+	depth := 0
+	for v := h.Head(id); v != nil; v = v.Next() {
+		depth++
+	}
+	if depth != 6 {
+		t.Fatalf("chain depth = %d", depth)
+	}
+	reclaimed := h.Vacuum(m.OldestActiveTS())
+	if reclaimed != 5 {
+		t.Fatalf("vacuum reclaimed %d, want 5", reclaimed)
+	}
+	tx := m.Begin(Snapshot, true)
+	if row, ok := m.Read(h, id, tx); !ok || row[0].I != 4 {
+		t.Fatal("live version lost by vacuum")
+	}
+}
+
+func TestReadMissingRow(t *testing.T) {
+	m := NewManager()
+	h := newHeap()
+	tx := m.Begin(Snapshot, true)
+	if _, ok := m.Read(h, storage.RowID{Page: 9, Slot: 9}, tx); ok {
+		t.Fatal("missing row should not be readable")
+	}
+	if err := m.Update(h, storage.RowID{Page: 9, Slot: 9}, rel.Row{}, m.Begin(Snapshot, false)); err == nil {
+		t.Fatal("updating missing row should error")
+	}
+}

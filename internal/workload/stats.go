@@ -1,0 +1,282 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"neurdb/internal/rel"
+)
+
+// DriftLevel selects the drift intensity for the STATS workload (Fig. 8's
+// three panels: original, mild drift, severe drift).
+type DriftLevel int
+
+// Drift levels.
+const (
+	DriftNone DriftLevel = iota
+	DriftMild
+	DriftSevere
+)
+
+// String names the level like the paper's panels.
+func (d DriftLevel) String() string {
+	switch d {
+	case DriftMild:
+		return "STATS w. Mild Drift"
+	case DriftSevere:
+		return "STATS w. Severe Drift"
+	default:
+		return "Original STATS"
+	}
+}
+
+// StatsTableDef describes one table of the STATS-like schema.
+type StatsTableDef struct {
+	Name string
+	Cols []rel.Column
+	// IndexCols are columns that get B-trees (primary/FK columns).
+	IndexCols []string
+}
+
+// Stats is a synthetic Stack-Exchange-like workload: the 8 tables of the
+// STATS benchmark with FK join structure, skewed value distributions, 8 SPJ
+// query templates, and drift generators following ALECE's protocol
+// (inserts/updates/deletes with shifted value distributions).
+type Stats struct {
+	Scale int // rows multiplier; 1 ≈ 36k rows total
+	seed  int64
+}
+
+// NewStats creates the workload at the given scale.
+func NewStats(scale int, seed int64) *Stats {
+	if scale < 1 {
+		scale = 1
+	}
+	return &Stats{Scale: scale, seed: seed}
+}
+
+func intCol(name string) rel.Column { return rel.Column{Name: name, Typ: rel.TypeInt} }
+
+// Tables returns the schema.
+func (s *Stats) Tables() []StatsTableDef {
+	return []StatsTableDef{
+		{Name: "users", Cols: []rel.Column{intCol("id"), intCol("reputation"), intCol("upvotes"), intCol("downvotes")}, IndexCols: []string{"id"}},
+		{Name: "posts", Cols: []rel.Column{intCol("id"), intCol("owneruserid"), intCol("score"), intCol("viewcount"), intCol("answercount")}, IndexCols: []string{"id", "owneruserid"}},
+		{Name: "comments", Cols: []rel.Column{intCol("id"), intCol("postid"), intCol("userid"), intCol("score")}, IndexCols: []string{"postid", "userid"}},
+		{Name: "votes", Cols: []rel.Column{intCol("id"), intCol("postid"), intCol("userid"), intCol("votetypeid")}, IndexCols: []string{"postid"}},
+		{Name: "badges", Cols: []rel.Column{intCol("id"), intCol("userid"), intCol("class")}, IndexCols: []string{"userid"}},
+		{Name: "posthistory", Cols: []rel.Column{intCol("id"), intCol("postid"), intCol("userid"), intCol("typeid")}, IndexCols: []string{"postid"}},
+		{Name: "postlinks", Cols: []rel.Column{intCol("id"), intCol("postid"), intCol("relatedpostid"), intCol("linktypeid")}, IndexCols: []string{"postid"}},
+		{Name: "tags", Cols: []rel.Column{intCol("id"), intCol("excerptpostid"), intCol("count")}, IndexCols: []string{"excerptpostid"}},
+	}
+}
+
+// counts returns base row counts per table at this scale.
+func (s *Stats) counts() map[string]int {
+	k := s.Scale
+	return map[string]int{
+		"users":       2000 * k,
+		"posts":       5000 * k,
+		"comments":    8000 * k,
+		"votes":       10000 * k,
+		"badges":      3000 * k,
+		"posthistory": 6000 * k,
+		"postlinks":   1500 * k,
+		"tags":        500 * k,
+	}
+}
+
+// zipfInt draws a skewed value in [0, n): small values are hot.
+func zipfInt(r *rand.Rand, n int, skew float64) int {
+	u := r.Float64()
+	v := int(float64(n) * pow(u, skew))
+	if v >= n {
+		v = n - 1
+	}
+	return v
+}
+
+func pow(x, p float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Pow(x, p)
+}
+
+// Rows generates the initial data for one table.
+func (s *Stats) Rows(table string) []rel.Row {
+	n := s.counts()[table]
+	r := rand.New(rand.NewSource(s.seed + int64(len(table))*1009))
+	users := s.counts()["users"]
+	posts := s.counts()["posts"]
+	out := make([]rel.Row, n)
+	for i := 0; i < n; i++ {
+		switch table {
+		case "users":
+			out[i] = rel.Row{
+				rel.Int(int64(i)),
+				rel.Int(int64(zipfInt(r, 10000, 3))), // reputation: skewed low
+				rel.Int(int64(zipfInt(r, 500, 2))),
+				rel.Int(int64(zipfInt(r, 100, 2))),
+			}
+		case "posts":
+			out[i] = rel.Row{
+				rel.Int(int64(i)),
+				rel.Int(int64(zipfInt(r, users, 2))), // owners skewed: power users
+				rel.Int(int64(r.Intn(100))),          // score uniform 0..99
+				rel.Int(int64(zipfInt(r, 20000, 3))), // viewcount skewed
+				rel.Int(int64(r.Intn(10))),
+			}
+		case "comments":
+			out[i] = rel.Row{
+				rel.Int(int64(i)),
+				rel.Int(int64(zipfInt(r, posts, 2))), // hot posts get comments
+				rel.Int(int64(zipfInt(r, users, 2))),
+				rel.Int(int64(zipfInt(r, 20, 2))),
+			}
+		case "votes":
+			out[i] = rel.Row{
+				rel.Int(int64(i)),
+				rel.Int(int64(zipfInt(r, posts, 2))),
+				rel.Int(int64(zipfInt(r, users, 1.5))),
+				rel.Int(int64(1 + zipfInt(r, 10, 3))), // votetype: 2 dominates-ish
+			}
+		case "badges":
+			out[i] = rel.Row{
+				rel.Int(int64(i)),
+				rel.Int(int64(zipfInt(r, users, 1.5))),
+				rel.Int(int64(1 + r.Intn(3))),
+			}
+		case "posthistory":
+			out[i] = rel.Row{
+				rel.Int(int64(i)),
+				rel.Int(int64(zipfInt(r, posts, 2))),
+				rel.Int(int64(zipfInt(r, users, 2))),
+				rel.Int(int64(1 + r.Intn(6))),
+			}
+		case "postlinks":
+			out[i] = rel.Row{
+				rel.Int(int64(i)),
+				rel.Int(int64(zipfInt(r, posts, 2))),
+				rel.Int(int64(r.Intn(posts))),
+				rel.Int(int64(1 + r.Intn(3))),
+			}
+		case "tags":
+			out[i] = rel.Row{
+				rel.Int(int64(i)),
+				rel.Int(int64(r.Intn(posts))),
+				rel.Int(int64(zipfInt(r, 5000, 3))),
+			}
+		}
+	}
+	return out
+}
+
+// Queries returns the 8 SPJ query templates (paper: "randomly select 8 SPJ
+// queries provided by STATS datasets").
+func (s *Stats) Queries() []string {
+	return []string{
+		// Q1: 2-way FK join with selective filters on both sides.
+		`SELECT COUNT(*) FROM users u, posts p WHERE u.id = p.owneruserid AND u.reputation > 500 AND p.score > 50`,
+		// Q2: users × badges.
+		`SELECT COUNT(*) FROM users u, badges b WHERE u.id = b.userid AND u.upvotes > 50 AND b.class = 1`,
+		// Q3: posts × comments with a cold filter.
+		`SELECT COUNT(*) FROM posts p, comments c WHERE p.id = c.postid AND c.score = 0 AND p.viewcount > 1000`,
+		// Q4: 3-way users × posts × comments.
+		`SELECT COUNT(*) FROM users u, posts p, comments c WHERE u.id = p.owneruserid AND p.id = c.postid AND u.reputation > 100 AND p.score > 20`,
+		// Q5: posts × votes with a hot filter.
+		`SELECT COUNT(*) FROM posts p, votes v WHERE p.id = v.postid AND v.votetypeid = 2 AND p.score > 80`,
+		// Q6: 3-way users × comments × badges.
+		`SELECT COUNT(*) FROM users u, comments c, badges b WHERE u.id = c.userid AND u.id = b.userid AND c.score > 5 AND b.class = 2`,
+		// Q7: 3-way posts × posthistory × votes.
+		`SELECT COUNT(*) FROM posts p, posthistory h, votes v WHERE p.id = h.postid AND p.id = v.postid AND h.typeid = 2 AND p.answercount > 3`,
+		// Q8: 4-way users × posts × comments × votes.
+		`SELECT COUNT(*) FROM users u, posts p, comments c, votes v WHERE u.id = p.owneruserid AND p.id = c.postid AND p.id = v.postid AND u.reputation > 1000 AND p.score > 60`,
+	}
+}
+
+// DriftInserts returns extra rows whose value distributions are shifted —
+// mild drift adds ~20% skew-shifted rows to the fact tables; severe drift
+// adds 1-2× rows with inverted hot ranges so selectivities and join
+// cardinalities change drastically.
+func (s *Stats) DriftInserts(table string, level DriftLevel) []rel.Row {
+	if level == DriftNone {
+		return nil
+	}
+	counts := s.counts()
+	n := counts[table]
+	users := counts["users"]
+	posts := counts["posts"]
+	r := rand.New(rand.NewSource(s.seed*31 + int64(len(table))*7 + int64(level)))
+	var frac float64
+	switch level {
+	case DriftMild:
+		frac = 0.2
+	case DriftSevere:
+		frac = 1.2
+	}
+	extra := int(float64(n) * frac)
+	out := make([]rel.Row, 0, extra)
+	for i := 0; i < extra; i++ {
+		id := int64(n + i)
+		switch table {
+		case "posts":
+			// Drifted posts: high scores dominate; owners are cold users.
+			score := 50 + r.Intn(50)
+			if level == DriftSevere {
+				score = 80 + r.Intn(20)
+			}
+			owner := users - 1 - zipfInt(r, users, 2) // invert owner skew
+			out = append(out, rel.Row{
+				rel.Int(id), rel.Int(int64(owner)), rel.Int(int64(score)),
+				rel.Int(int64(r.Intn(2000))), rel.Int(int64(5 + r.Intn(5))),
+			})
+		case "votes":
+			// Drifted votes: new vote types, cold posts become hot.
+			vt := 1 + r.Intn(10)
+			if level == DriftSevere {
+				vt = 2 // everything becomes votetype 2
+			}
+			post := posts - 1 - zipfInt(r, posts, 2)
+			out = append(out, rel.Row{
+				rel.Int(id), rel.Int(int64(post)),
+				rel.Int(int64(r.Intn(users))), rel.Int(int64(vt)),
+			})
+		case "comments":
+			// Drifted comments: scores shift upward.
+			score := zipfInt(r, 20, 2)
+			if level == DriftSevere {
+				score = 6 + r.Intn(14)
+			}
+			out = append(out, rel.Row{
+				rel.Int(id), rel.Int(int64(posts - 1 - zipfInt(r, posts, 2))),
+				rel.Int(int64(r.Intn(users))), rel.Int(int64(score)),
+			})
+		case "users":
+			// New cohort with high reputation (severe only).
+			if level != DriftSevere {
+				return out
+			}
+			out = append(out, rel.Row{
+				rel.Int(id), rel.Int(int64(2000 + r.Intn(8000))),
+				rel.Int(int64(100 + r.Intn(400))), rel.Int(int64(r.Intn(100))),
+			})
+		default:
+			return out
+		}
+	}
+	return out
+}
+
+// DriftDeletes returns WHERE clauses deleting old hot rows under severe
+// drift (completing the insert/update/delete protocol).
+func (s *Stats) DriftDeletes(level DriftLevel) map[string]string {
+	if level != DriftSevere {
+		return nil
+	}
+	return map[string]string{
+		"votes":    fmt.Sprintf("id < %d", s.counts()["votes"]/4),
+		"comments": fmt.Sprintf("id < %d", s.counts()["comments"]/5),
+	}
+}
