@@ -6,13 +6,14 @@
 //	neurdb-bench                 # all experiments at default (fast) scale
 //	neurdb-bench -exp fig7a      # one experiment
 //	neurdb-bench -full           # paper-approaching scale (slow)
+//	neurdb-bench -json           # machine-readable results on stdout
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"neurdb/internal/bench"
 )
@@ -20,77 +21,98 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1|fig6a|fig6b|fig6c|fig7a|fig7b|fig8|all")
 	full := flag.Bool("full", false, "use paper-approaching scale (slow)")
+	jsonOut := flag.Bool("json", false, "emit results as a JSON object keyed by experiment")
 	flag.Parse()
+
+	known := map[string]bool{
+		"all": true, "table1": true, "fig6a": true, "fig6b": true,
+		"fig6c": true, "fig7a": true, "fig7b": true, "fig8": true,
+	}
+	if !known[*exp] {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
 
 	sc := bench.DefaultScale()
 	if *full {
 		sc = bench.FullScale()
 	}
 
-	run := func(name string, f func() (string, error)) {
+	results := map[string]any{}
+	// run executes one experiment; f returns the rendered table plus the raw
+	// result struct for -json consumers tracking the perf trajectory.
+	run := func(name string, f func() (string, any, error)) {
 		if *exp != "all" && *exp != name {
 			return
 		}
-		out, err := f()
+		out, data, err := f()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
+		if *jsonOut {
+			results[name] = data
+			return
+		}
 		fmt.Println(out)
 	}
 
-	run("table1", func() (string, error) {
+	run("table1", func() (string, any, error) {
 		rows, err := bench.RunTable1(sc)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return bench.RenderTable1(rows), nil
+		return bench.RenderTable1(rows), rows, nil
 	})
-	run("fig6a", func() (string, error) {
+	run("fig6a", func() (string, any, error) {
 		rows, err := bench.RunFig6a(sc)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return bench.RenderFig6a(rows), nil
+		return bench.RenderFig6a(rows), rows, nil
 	})
-	run("fig6b", func() (string, error) {
+	run("fig6b", func() (string, any, error) {
 		points, err := bench.RunFig6b(sc)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return bench.RenderFig6b(points), nil
+		return bench.RenderFig6b(points), points, nil
 	})
-	run("fig6c", func() (string, error) {
+	run("fig6c", func() (string, any, error) {
 		res, err := bench.RunFig6c(sc)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return bench.RenderFig6c(res), nil
+		return bench.RenderFig6c(res), res, nil
 	})
-	run("fig7a", func() (string, error) {
+	run("fig7a", func() (string, any, error) {
 		rows, err := bench.RunFig7a(sc)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return bench.RenderFig7a(rows), nil
+		return bench.RenderFig7a(rows), rows, nil
 	})
-	run("fig7b", func() (string, error) {
+	run("fig7b", func() (string, any, error) {
 		res, err := bench.RunFig7b(sc)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return bench.RenderFig7b(res), nil
+		return bench.RenderFig7b(res), res, nil
 	})
-	run("fig8", func() (string, error) {
+	run("fig8", func() (string, any, error) {
 		res, err := bench.RunFig8(sc)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return bench.RenderFig8(res), nil
+		return bench.RenderFig8(res), res, nil
 	})
 
-	if *exp != "all" && !strings.Contains("table1 fig6a fig6b fig6c fig7a fig7b fig8", *exp) {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

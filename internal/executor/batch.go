@@ -1,0 +1,381 @@
+package executor
+
+import (
+	"neurdb/internal/plan"
+	"neurdb/internal/rel"
+	"neurdb/internal/storage"
+)
+
+// BatchSize is the target row count per executor batch: two heap pages per
+// batch, big enough to amortize dynamic dispatch and visibility-check call
+// overhead, small enough to stay cache-resident.
+const BatchSize = 2 * storage.RowsPerPage
+
+// BatchIter is the vectorized counterpart of Iter: operators exchange
+// batches of rows instead of one row per virtual call.
+//
+// Contract: NextBatch resets dst, refills it, and returns the row count;
+// 0 with a nil error means end of stream (and repeats on further calls).
+// A non-empty result may hold more or fewer than BatchSize rows, but never
+// 0 before the stream ends. Rows placed in dst must remain valid after
+// subsequent NextBatch calls — producers pass through storage-owned rows or
+// allocate fresh ones, never recycle row backing arrays.
+type BatchIter interface {
+	Open() error
+	NextBatch(dst *rel.Batch) (int, error)
+	Close() error
+}
+
+// BuildBatch compiles a plan into a batch-iterator tree. Seq scans, index
+// scans, filters, projections and hash joins execute natively batch-at-a-
+// time; any other operator is built as a row iterator (whose own inputs are
+// again batch-backed) and adapted via NewBatchIter.
+func BuildBatch(n plan.Node, ctx *Ctx) (BatchIter, error) {
+	switch t := n.(type) {
+	case *plan.SeqScan:
+		return &seqScanBatch{ctx: ctx, node: t}, nil
+	case *plan.IndexScan:
+		return &indexScanBatch{ctx: ctx, node: t}, nil
+	case *plan.Filter:
+		c, err := BuildBatch(t.Child, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &filterBatch{pred: t.Pred, child: c}, nil
+	case *plan.Project:
+		c, err := BuildBatch(t.Child, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &projectBatch{exprs: t.Exprs, child: c, in: rel.NewBatch(BatchSize)}, nil
+	case *plan.HashJoin:
+		l, err := BuildBatch(t.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := BuildBatch(t.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &hashJoinBatch{node: t, left: l, right: r, in: rel.NewBatch(BatchSize)}, nil
+	default:
+		it, err := Build(n, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return NewBatchIter(it), nil
+	}
+}
+
+// --- adapters ---
+
+// rowIter adapts a BatchIter to the scalar Iter interface, letting
+// row-at-a-time operators (sort, aggregate, limit, the nested-loop joins,
+// DML helpers, AI operators) consume batch-producing subtrees unchanged.
+type rowIter struct {
+	b    BatchIter
+	buf  *rel.Batch
+	pos  int
+	done bool
+}
+
+// NewRowIter wraps a batch iterator as a row iterator.
+func NewRowIter(b BatchIter) Iter {
+	return &rowIter{b: b, buf: rel.NewBatch(BatchSize)}
+}
+
+func (it *rowIter) Open() error { return it.b.Open() }
+
+func (it *rowIter) Next() (rel.Row, error) {
+	for {
+		if it.pos < it.buf.Len() {
+			row := it.buf.Rows[it.pos]
+			it.pos++
+			return row, nil
+		}
+		if it.done {
+			return nil, nil
+		}
+		n, err := it.b.NextBatch(it.buf)
+		if err != nil {
+			return nil, err
+		}
+		it.pos = 0
+		if n == 0 {
+			it.done = true
+			return nil, nil
+		}
+	}
+}
+
+func (it *rowIter) Close() error { return it.b.Close() }
+
+// batchIter adapts a scalar Iter to the BatchIter interface for operators
+// with no native batch implementation yet.
+type batchIter struct {
+	it Iter
+}
+
+// NewBatchIter wraps a row iterator as a batch iterator.
+func NewBatchIter(it Iter) BatchIter { return &batchIter{it: it} }
+
+func (a *batchIter) Open() error { return a.it.Open() }
+
+func (a *batchIter) NextBatch(dst *rel.Batch) (int, error) {
+	dst.Reset()
+	for dst.Len() < BatchSize {
+		row, err := a.it.Next()
+		if err != nil {
+			return 0, err
+		}
+		if row == nil {
+			break
+		}
+		dst.Append(row)
+	}
+	return dst.Len(), nil
+}
+
+func (a *batchIter) Close() error { return a.it.Close() }
+
+// --- scans ---
+
+// seqScanBatch is the vectorized heap scan: one page cursor step yields up
+// to RowsPerPage chain heads under a single lock acquisition and a single
+// buffer-pool touch, and one Manager.ReadPage call resolves the whole
+// page's visibility.
+type seqScanBatch struct {
+	ctx    *Ctx
+	node   *plan.SeqScan
+	cursor *storage.BatchCursor
+}
+
+func (s *seqScanBatch) Open() error {
+	s.cursor = s.node.Table.Heap.NewBatchCursor()
+	return nil
+}
+
+func (s *seqScanBatch) NextBatch(dst *rel.Batch) (int, error) {
+	dst.Reset()
+	for dst.Len() < BatchSize {
+		pageID, heads, ok := s.cursor.NextPage()
+		if !ok {
+			break
+		}
+		start := dst.Len()
+		dst.Rows = s.ctx.Mgr.ReadPage(s.node.Table.ID, pageID, heads, s.ctx.Txn, dst.Rows)
+		if s.node.Filter != nil {
+			kept := dst.Rows[:start]
+			for _, row := range dst.Rows[start:] {
+				if s.node.Filter.Eval(row).AsBool() {
+					kept = append(kept, row)
+				}
+			}
+			dst.Rows = kept
+		}
+	}
+	return dst.Len(), nil
+}
+
+func (s *seqScanBatch) Close() error { return nil }
+
+// indexScanBatch drains an index-posting list batch-at-a-time. Lookups stay
+// per-row (point reads through Heap.Head), but downstream operators get the
+// dispatch amortization.
+type indexScanBatch struct {
+	ctx  *Ctx
+	node *plan.IndexScan
+	ids  []storage.RowID
+	pos  int
+}
+
+func (s *indexScanBatch) Open() error {
+	ids, err := indexScanIDs(s.node)
+	s.ids = ids
+	return err
+}
+
+func (s *indexScanBatch) NextBatch(dst *rel.Batch) (int, error) {
+	dst.Reset()
+	for dst.Len() < BatchSize && s.pos < len(s.ids) {
+		id := s.ids[s.pos]
+		s.pos++
+		row, visible := s.ctx.Mgr.Read(s.node.Table.Heap, id, s.ctx.Txn)
+		if !visible || !indexRecheck(s.node, row) {
+			continue
+		}
+		if s.node.Filter != nil && !s.node.Filter.Eval(row).AsBool() {
+			continue
+		}
+		dst.Append(row)
+	}
+	return dst.Len(), nil
+}
+
+func (s *indexScanBatch) Close() error { return nil }
+
+// --- row transforms ---
+
+// filterBatch compacts each child batch in place, pulling more batches until
+// at least one row survives or the input ends (so 0 still means EOF).
+type filterBatch struct {
+	pred  rel.Expr
+	child BatchIter
+}
+
+func (f *filterBatch) Open() error { return f.child.Open() }
+
+func (f *filterBatch) NextBatch(dst *rel.Batch) (int, error) {
+	for {
+		n, err := f.child.NextBatch(dst)
+		if err != nil {
+			return 0, err
+		}
+		if n == 0 {
+			return 0, nil
+		}
+		kept := dst.Rows[:0]
+		for _, row := range dst.Rows {
+			if f.pred.Eval(row).AsBool() {
+				kept = append(kept, row)
+			}
+		}
+		dst.Rows = kept
+		if dst.Len() > 0 {
+			return dst.Len(), nil
+		}
+	}
+}
+
+func (f *filterBatch) Close() error { return f.child.Close() }
+
+type projectBatch struct {
+	exprs []rel.Expr
+	child BatchIter
+	in    *rel.Batch
+}
+
+func (p *projectBatch) Open() error { return p.child.Open() }
+
+func (p *projectBatch) NextBatch(dst *rel.Batch) (int, error) {
+	dst.Reset()
+	n, err := p.child.NextBatch(p.in)
+	if err != nil || n == 0 {
+		return 0, err
+	}
+	for _, row := range p.in.Rows {
+		out := make(rel.Row, len(p.exprs))
+		for i, e := range p.exprs {
+			out[i] = e.Eval(row)
+		}
+		dst.Append(out)
+	}
+	return dst.Len(), nil
+}
+
+func (p *projectBatch) Close() error { return p.child.Close() }
+
+// --- joins ---
+
+// hashJoinBatch is the batched equi-join: Open drains the build (right)
+// side batch-at-a-time into the hash table, then each probe batch from the
+// left produces its joined rows in one pass. Joined rows overflowing the
+// output batch are carried in pending across calls.
+type hashJoinBatch struct {
+	node        *plan.HashJoin
+	left, right BatchIter
+	table       map[uint64][]rel.Row
+	in          *rel.Batch // probe-side input scratch
+	pending     []rel.Row  // joined rows awaiting emission
+	pendPos     int
+	slab        []rel.Value // arena joined rows are carved from
+	exhausted   bool
+}
+
+// joinSlabValues sizes the output-row arena: joined rows are carved from a
+// shared value slab, so the join allocates once per slab instead of once
+// per output row. Emitted rows keep referencing retired slabs, which stay
+// alive for exactly as long as some consumer holds one of their rows.
+const joinSlabValues = 4096
+
+func (h *hashJoinBatch) Open() error {
+	if err := h.right.Open(); err != nil {
+		return err
+	}
+	defer h.right.Close()
+	h.table = make(map[uint64][]rel.Row)
+	build := rel.NewBatch(BatchSize)
+	for {
+		n, err := h.right.NextBatch(build)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			break
+		}
+		for _, row := range build.Rows {
+			key := row[h.node.RKey]
+			if key.IsNull() {
+				continue
+			}
+			hash := key.Hash()
+			h.table[hash] = append(h.table[hash], row)
+		}
+	}
+	return h.left.Open()
+}
+
+func (h *hashJoinBatch) NextBatch(dst *rel.Batch) (int, error) {
+	dst.Reset()
+	for dst.Len() < BatchSize {
+		if h.pendPos < len(h.pending) {
+			dst.Append(h.pending[h.pendPos])
+			h.pendPos++
+			continue
+		}
+		if h.exhausted {
+			break
+		}
+		n, err := h.left.NextBatch(h.in)
+		if err != nil {
+			return 0, err
+		}
+		if n == 0 {
+			h.exhausted = true
+			break
+		}
+		h.pending = h.pending[:0]
+		h.pendPos = 0
+		for _, l := range h.in.Rows {
+			key := l[h.node.LKey]
+			if key.IsNull() {
+				continue
+			}
+			for _, r := range h.table[key.Hash()] {
+				if !rel.Equal(r[h.node.RKey], key) {
+					continue
+				}
+				width := len(l) + len(r)
+				if cap(h.slab)-len(h.slab) < width {
+					n := joinSlabValues
+					if n < width {
+						n = width
+					}
+					h.slab = make([]rel.Value, 0, n)
+				}
+				start := len(h.slab)
+				h.slab = append(h.slab, l...)
+				h.slab = append(h.slab, r...)
+				joined := rel.Row(h.slab[start:len(h.slab):len(h.slab)])
+				if h.node.Residual != nil && !h.node.Residual.Eval(joined).AsBool() {
+					h.slab = h.slab[:start]
+					continue
+				}
+				h.pending = append(h.pending, joined)
+			}
+		}
+	}
+	return dst.Len(), nil
+}
+
+func (h *hashJoinBatch) Close() error { return h.left.Close() }

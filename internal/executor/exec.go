@@ -29,65 +29,91 @@ type Iter interface {
 	Close() error
 }
 
-// Build compiles a plan into an iterator tree.
+// Build compiles a plan into an iterator tree. Operators with a native
+// vectorized implementation (scans, filter, project, hash join) execute
+// batch-at-a-time internally and surface rows through an adapter, so
+// row-oriented callers transparently ride the batch engine.
 func Build(n plan.Node, ctx *Ctx) (Iter, error) {
+	switch n.(type) {
+	case *plan.SeqScan, *plan.IndexScan, *plan.HashJoin, *plan.Filter, *plan.Project:
+		b, err := BuildBatch(n, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return NewRowIter(b), nil
+	}
+	return buildWith(n, ctx, Build)
+}
+
+// buildScalar compiles a plan into the legacy row-at-a-time iterator tree,
+// with no batch operators anywhere. The batch engine replaced it on the hot
+// path; it remains the reference implementation for differential tests and
+// the baseline for the vectorization benchmarks.
+func buildScalar(n plan.Node, ctx *Ctx) (Iter, error) {
+	return buildWith(n, ctx, buildScalar)
+}
+
+// buildWith constructs the row operator for n, building child subtrees with
+// the given builder (Build for batch-backed children, buildScalar for pure
+// row trees).
+func buildWith(n plan.Node, ctx *Ctx, child func(plan.Node, *Ctx) (Iter, error)) (Iter, error) {
 	switch t := n.(type) {
 	case *plan.SeqScan:
 		return &seqScanIter{ctx: ctx, node: t}, nil
 	case *plan.IndexScan:
 		return &indexScanIter{ctx: ctx, node: t}, nil
 	case *plan.HashJoin:
-		l, err := Build(t.L, ctx)
+		l, err := child(t.L, ctx)
 		if err != nil {
 			return nil, err
 		}
-		r, err := Build(t.R, ctx)
+		r, err := child(t.R, ctx)
 		if err != nil {
 			return nil, err
 		}
 		return &hashJoinIter{node: t, left: l, right: r}, nil
 	case *plan.NLJoin:
-		l, err := Build(t.L, ctx)
+		l, err := child(t.L, ctx)
 		if err != nil {
 			return nil, err
 		}
-		r, err := Build(t.R, ctx)
+		r, err := child(t.R, ctx)
 		if err != nil {
 			return nil, err
 		}
 		return &nlJoinIter{node: t, left: l, right: r}, nil
 	case *plan.IndexJoin:
-		l, err := Build(t.L, ctx)
+		l, err := child(t.L, ctx)
 		if err != nil {
 			return nil, err
 		}
 		return &indexJoinIter{ctx: ctx, node: t, left: l}, nil
 	case *plan.Filter:
-		c, err := Build(t.Child, ctx)
+		c, err := child(t.Child, ctx)
 		if err != nil {
 			return nil, err
 		}
 		return &filterIter{pred: t.Pred, child: c}, nil
 	case *plan.Project:
-		c, err := Build(t.Child, ctx)
+		c, err := child(t.Child, ctx)
 		if err != nil {
 			return nil, err
 		}
 		return &projectIter{exprs: t.Exprs, child: c}, nil
 	case *plan.Agg:
-		c, err := Build(t.Child, ctx)
+		c, err := child(t.Child, ctx)
 		if err != nil {
 			return nil, err
 		}
 		return &aggIter{node: t, child: c}, nil
 	case *plan.Sort:
-		c, err := Build(t.Child, ctx)
+		c, err := child(t.Child, ctx)
 		if err != nil {
 			return nil, err
 		}
 		return &sortIter{keys: t.Keys, child: c}, nil
 	case *plan.Limit:
-		c, err := Build(t.Child, ctx)
+		c, err := child(t.Child, ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -97,9 +123,10 @@ func Build(n plan.Node, ctx *Ctx) (Iter, error) {
 	}
 }
 
-// Run executes a plan to completion and returns all rows.
+// Run executes a plan to completion and returns all rows. The plan runs on
+// the batch engine; operators without a batch implementation are adapted.
 func Run(n plan.Node, ctx *Ctx) ([]rel.Row, error) {
-	it, err := Build(n, ctx)
+	it, err := BuildBatch(n, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -108,15 +135,16 @@ func Run(n plan.Node, ctx *Ctx) ([]rel.Row, error) {
 	}
 	defer it.Close()
 	var out []rel.Row
+	batch := rel.NewBatch(BatchSize)
 	for {
-		row, err := it.Next()
+		cnt, err := it.NextBatch(batch)
 		if err != nil {
 			return nil, err
 		}
-		if row == nil {
+		if cnt == 0 {
 			return out, nil
 		}
-		out = append(out, row)
+		out = append(out, batch.Rows...)
 	}
 }
 
@@ -159,36 +187,44 @@ type indexScanIter struct {
 	pos  int
 }
 
-func (it *indexScanIter) Open() error {
-	n := it.node
+// indexScanIDs materializes the posting list an index scan will visit.
+func indexScanIDs(n *plan.IndexScan) ([]storage.RowID, error) {
 	switch {
 	case n.Eq != nil:
-		it.ids = n.Index.Lookup(*n.Eq)
+		return n.Index.Lookup(*n.Eq), nil
 	case n.Index.BT != nil:
-		n.Index.BT.Range(n.Lo, n.Hi, func(_ rel.Value, ids []storage.RowID) bool {
-			it.ids = append(it.ids, ids...)
+		var ids []storage.RowID
+		n.Index.BT.Range(n.Lo, n.Hi, func(_ rel.Value, got []storage.RowID) bool {
+			ids = append(ids, got...)
 			return true
 		})
+		return ids, nil
 	default:
-		return fmt.Errorf("executor: range scan over hash index %q", n.Index.Name)
+		return nil, fmt.Errorf("executor: range scan over hash index %q", n.Index.Name)
 	}
-	return nil
 }
 
-// recheck verifies the index condition against the fetched row: postings can
-// be stale when an update changed the key (lazy index maintenance).
-func (it *indexScanIter) recheck(row rel.Row) bool {
-	v := row[it.node.Index.Col]
-	if it.node.Eq != nil {
-		return rel.Equal(v, *it.node.Eq)
+// indexRecheck verifies the index condition against the fetched row:
+// postings can be stale when an update changed the key (lazy index
+// maintenance).
+func indexRecheck(n *plan.IndexScan, row rel.Row) bool {
+	v := row[n.Index.Col]
+	if n.Eq != nil {
+		return rel.Equal(v, *n.Eq)
 	}
-	if it.node.Lo != nil && rel.Compare(v, *it.node.Lo) < 0 {
+	if n.Lo != nil && rel.Compare(v, *n.Lo) < 0 {
 		return false
 	}
-	if it.node.Hi != nil && rel.Compare(v, *it.node.Hi) > 0 {
+	if n.Hi != nil && rel.Compare(v, *n.Hi) > 0 {
 		return false
 	}
 	return true
+}
+
+func (it *indexScanIter) Open() error {
+	ids, err := indexScanIDs(it.node)
+	it.ids = ids
+	return err
 }
 
 func (it *indexScanIter) Next() (rel.Row, error) {
@@ -196,7 +232,7 @@ func (it *indexScanIter) Next() (rel.Row, error) {
 		id := it.ids[it.pos]
 		it.pos++
 		row, visible := it.ctx.Mgr.Read(it.node.Table.Heap, id, it.ctx.Txn)
-		if !visible || !it.recheck(row) {
+		if !visible || !indexRecheck(it.node, row) {
 			continue
 		}
 		if it.node.Filter != nil && !it.node.Filter.Eval(row).AsBool() {

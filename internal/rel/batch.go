@@ -1,0 +1,25 @@
+package rel
+
+// Batch is a reusable container of rows passed between vectorized executor
+// operators. Operators fill a caller-supplied Batch so the hot read path
+// performs one dynamic dispatch per batch instead of one per row; the Rows
+// slice (of row references) is recycled across calls, while the rows placed
+// in it must remain valid after subsequent refills — producers either pass
+// through storage-owned rows or allocate fresh ones.
+type Batch struct {
+	Rows []Row
+}
+
+// NewBatch returns an empty batch with the given row capacity.
+func NewBatch(capacity int) *Batch {
+	return &Batch{Rows: make([]Row, 0, capacity)}
+}
+
+// Reset empties the batch, keeping its capacity.
+func (b *Batch) Reset() { b.Rows = b.Rows[:0] }
+
+// Len returns the number of rows currently in the batch.
+func (b *Batch) Len() int { return len(b.Rows) }
+
+// Append adds a row to the batch.
+func (b *Batch) Append(r Row) { b.Rows = append(b.Rows, r) }

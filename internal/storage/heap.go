@@ -120,23 +120,46 @@ func (h *Heap) NoteDelete() {
 
 // Scan visits every version-chain head in heap order. The visitor receives
 // the RowID and chain head; returning false stops the scan. Page touches are
-// recorded against the buffer pool.
+// recorded against the buffer pool. Each page's heads are copied out under
+// the lock, so the visitor runs lock-free and concurrent Vacuum/SetHead
+// cannot race with it.
 func (h *Heap) Scan(visit func(RowID, *Version) bool) {
-	h.mu.RLock()
-	pages := h.pages
-	h.mu.RUnlock()
-	for _, p := range pages {
+	var buf [RowsPerPage]*Version
+	for pageNo := 0; ; pageNo++ {
 		h.mu.RLock()
-		h.touch(p.id, false)
-		chains := p.chains
+		if pageNo >= len(h.pages) {
+			h.mu.RUnlock()
+			return
+		}
+		h.touch(uint32(pageNo), false)
+		n := copy(buf[:], h.pages[pageNo].chains)
 		h.mu.RUnlock()
-		for slot, head := range chains {
+		for slot := 0; slot < n; slot++ {
+			head := buf[slot]
 			if head == nil {
 				continue
 			}
-			if !visit(RowID{Page: p.id, Slot: uint32(slot)}, head) {
+			if !visit(RowID{Page: uint32(pageNo), Slot: uint32(slot)}, head) {
 				return
 			}
+		}
+	}
+}
+
+// ScanBatch visits the heap page-at-a-time: the visitor receives a page id
+// and that page's chain heads (entries may be nil for vacuumed slots; the
+// slice index is the slot). Heap.mu is acquired once and the buffer pool
+// touched once per page, not per row. Returning false stops the scan. The
+// heads slice is only valid during the visit.
+func (h *Heap) ScanBatch(visit func(pageID uint32, heads []*Version) bool) {
+	c := h.NewBatchCursor()
+	for {
+		id, heads, ok := c.NextPage()
+		if !ok {
+			return
+		}
+		if !visit(id, heads) {
+			return
 		}
 	}
 }
@@ -184,12 +207,14 @@ func (h *Heap) String() string {
 }
 
 // Cursor iterates version-chain heads in heap order without holding locks
-// across calls (each page's chain slice is snapshotted under RLock).
+// across calls. Each page's heads are copied into the cursor under RLock,
+// so iteration cannot race with concurrent Vacuum/SetHead slot writes.
 type Cursor struct {
-	h      *Heap
-	page   int
-	slot   int
-	chains []*Version
+	h    *Heap
+	page int
+	slot int
+	n    int
+	buf  [RowsPerPage]*Version
 }
 
 // NewCursor returns a cursor positioned before the first row.
@@ -198,7 +223,7 @@ func (h *Heap) NewCursor() *Cursor { return &Cursor{h: h, page: -1} }
 // Next advances and returns the next chain head, or ok=false at the end.
 func (c *Cursor) Next() (RowID, *Version, bool) {
 	for {
-		if c.chains == nil || c.slot >= len(c.chains) {
+		if c.slot >= c.n {
 			c.page++
 			c.slot = 0
 			c.h.mu.RLock()
@@ -207,15 +232,43 @@ func (c *Cursor) Next() (RowID, *Version, bool) {
 				return RowID{}, nil, false
 			}
 			c.h.touch(uint32(c.page), false)
-			c.chains = c.h.pages[c.page].chains
+			c.n = copy(c.buf[:], c.h.pages[c.page].chains)
 			c.h.mu.RUnlock()
 			continue
 		}
-		head := c.chains[c.slot]
+		head := c.buf[c.slot]
 		id := RowID{Page: uint32(c.page), Slot: uint32(c.slot)}
 		c.slot++
 		if head != nil {
 			return id, head, true
 		}
 	}
+}
+
+// BatchCursor iterates the heap one page at a time, the storage half of the
+// executor's vectorized scan: one lock acquisition and one buffer-pool touch
+// buy up to RowsPerPage chain heads.
+type BatchCursor struct {
+	h    *Heap
+	page int
+	buf  [RowsPerPage]*Version
+}
+
+// NewBatchCursor returns a batch cursor positioned before the first page.
+func (h *Heap) NewBatchCursor() *BatchCursor { return &BatchCursor{h: h, page: -1} }
+
+// NextPage advances to the next page and returns its id and a snapshot of
+// its chain heads (index = slot; entries may be nil for vacuumed chains), or
+// ok=false at the end. The slice is valid until the next NextPage call.
+func (c *BatchCursor) NextPage() (uint32, []*Version, bool) {
+	c.page++
+	c.h.mu.RLock()
+	if c.page >= len(c.h.pages) {
+		c.h.mu.RUnlock()
+		return 0, nil, false
+	}
+	c.h.touch(uint32(c.page), false)
+	n := copy(c.buf[:], c.h.pages[c.page].chains)
+	c.h.mu.RUnlock()
+	return uint32(c.page), c.buf[:n], true
 }

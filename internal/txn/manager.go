@@ -543,6 +543,47 @@ func (m *Manager) unregisterReads(t *Txn) {
 	m.readersMu.Unlock()
 }
 
+// ReadPage applies snapshot visibility to one heap page's chain heads,
+// appending each visible row to dst and returning it. heads[slot] must be
+// the chain head at (pageID, slot) — the slice a storage.BatchCursor yields —
+// and nil entries (vacuumed chains) are skipped. Per-row semantics match
+// ReadHead; the batch form exists so sequential scans pay one manager call
+// per page instead of one per row, with an inlined fast path for the common
+// single-version committed-and-live case.
+func (m *Manager) ReadPage(table int, pageID uint32, heads []*storage.Version, t *Txn, dst []rel.Row) []rel.Row {
+	if t.Level == Serializable && !t.ReadOnly {
+		// Serializable scans need per-row SIREAD registration and conflict
+		// flagging; take the full path.
+		for slot, head := range heads {
+			if head == nil {
+				continue
+			}
+			id := storage.RowID{Page: pageID, Slot: uint32(slot)}
+			if row, ok := m.ReadHead(table, id, head, t); ok {
+				dst = append(dst, row)
+			}
+		}
+		return dst
+	}
+	start := t.StartTS
+	for _, head := range heads {
+		if head == nil {
+			continue
+		}
+		if head.XMin != t.ID {
+			// Fast path: creator committed within our snapshot, no deleter.
+			if bts := head.BeginTS(); bts != 0 && bts <= start && head.XMax() == 0 {
+				dst = append(dst, head.Data)
+				continue
+			}
+		}
+		if v, _ := m.visibleVersion(head, t); v != nil {
+			dst = append(dst, v.Data)
+		}
+	}
+	return dst
+}
+
 // ReadHead is Read for callers that already hold the chain head (scans),
 // avoiding a second heap lookup. Semantics match Read.
 func (m *Manager) ReadHead(table int, id storage.RowID, head *storage.Version, t *Txn) (rel.Row, bool) {
