@@ -3,10 +3,14 @@
 //
 // Usage:
 //
-//	neurdb-bench                 # all experiments at default (fast) scale
-//	neurdb-bench -exp fig7a      # one experiment
-//	neurdb-bench -full           # paper-approaching scale (slow)
-//	neurdb-bench -json           # machine-readable results on stdout
+//	neurdb-bench                          # all experiments at default (fast) scale
+//	neurdb-bench -exp fig7a               # one experiment
+//	neurdb-bench -exp fig6a,fig6c         # a comma-separated subset
+//	neurdb-bench -full                    # paper-approaching scale (slow)
+//	neurdb-bench -json                    # machine-readable results on stdout
+//	neurdb-bench -check ci/bench_expectations.json
+//	                                      # validate results against committed
+//	                                      # expectations; exit 1 on regression
 package main
 
 import (
@@ -14,23 +18,40 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"neurdb/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig6a|fig6b|fig6c|fig7a|fig7b|fig8|all")
+	exp := flag.String("exp", "all", "experiments (comma-separated): table1|fig6a|fig6b|fig6c|fig7a|fig7b|fig8|all")
 	full := flag.Bool("full", false, "use paper-approaching scale (slow)")
 	jsonOut := flag.Bool("json", false, "emit results as a JSON object keyed by experiment")
+	check := flag.String("check", "", "expectations file: validate results and exit non-zero on regression")
 	flag.Parse()
 
 	known := map[string]bool{
 		"all": true, "table1": true, "fig6a": true, "fig6b": true,
 		"fig6c": true, "fig7a": true, "fig7b": true, "fig8": true,
 	}
-	if !known[*exp] {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*exp, ",") {
+		name = strings.TrimSpace(name)
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		selected[name] = true
+	}
+
+	var exps *bench.Expectations
+	if *check != "" {
+		var err error
+		exps, err = bench.LoadExpectations(*check)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "check: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	sc := bench.DefaultScale()
@@ -40,9 +61,9 @@ func main() {
 
 	results := map[string]any{}
 	// run executes one experiment; f returns the rendered table plus the raw
-	// result struct for -json consumers tracking the perf trajectory.
+	// result struct for -json consumers and -check validation.
 	run := func(name string, f func() (string, any, error)) {
-		if *exp != "all" && *exp != name {
+		if !selected["all"] && !selected[name] {
 			return
 		}
 		out, data, err := f()
@@ -50,11 +71,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
-		if *jsonOut {
-			results[name] = data
-			return
+		results[name] = data
+		if !*jsonOut {
+			fmt.Println(out)
 		}
-		fmt.Println(out)
 	}
 
 	run("table1", func() (string, any, error) {
@@ -114,5 +134,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "json: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if exps != nil {
+		if violations := exps.Check(results); len(violations) > 0 {
+			fmt.Fprintln(os.Stderr, "bench regression check FAILED:")
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "  - %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "bench regression check passed")
 	}
 }

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Expectations pins floors/ceilings for the stable scalars the paper
+// harness produces. CI runs `neurdb-bench -json -exp ... -check FILE`
+// against the committed seed expectations (ci/bench_expectations.json) and
+// fails the build when a measured result regresses past them — the
+// thresholds carry slack over the seed measurements so run-to-run noise
+// passes but a real regression (a broken streaming path, a storage-saving
+// regression, a collapsed post-drift recovery) does not. Experiments absent
+// from either side are skipped, so the gate only constrains what a given CI
+// invocation actually ran.
+type Expectations struct {
+	Fig6a  *Fig6aExpectations  `json:"fig6a,omitempty"`
+	Fig6c  *Fig6cExpectations  `json:"fig6c,omitempty"`
+	Fig7a  *Fig7aExpectations  `json:"fig7a,omitempty"`
+	Fig7b  *Fig7bExpectations  `json:"fig7b,omitempty"`
+	Table1 *Table1Expectations `json:"table1,omitempty"`
+}
+
+// Fig6aExpectations gates the end-to-end AI-analytics comparison.
+type Fig6aExpectations struct {
+	// MinTputSpeedup is the per-workload floor on NeurDB-vs-baseline
+	// training throughput (paper reports 1.96x/2.92x at full scale).
+	MinTputSpeedup map[string]float64 `json:"min_tput_speedup"`
+}
+
+// Fig6cExpectations gates the drift-adaptation experiment.
+type Fig6cExpectations struct {
+	// MaxStorageRatio bounds incremental-save bytes over full-save bytes.
+	MaxStorageRatio float64 `json:"max_storage_ratio"`
+	// MaxPostDriftLossRatio bounds mean post-drift loss with incremental
+	// updates over the full-retrain baseline (≤1 means no worse).
+	MaxPostDriftLossRatio float64 `json:"max_postdrift_loss_ratio"`
+}
+
+// Fig7aExpectations gates the learned-CC throughput comparison.
+type Fig7aExpectations struct {
+	// MinSpeedup is the floor on learned-CC/SSI throughput at any
+	// measured thread count.
+	MinSpeedup float64 `json:"min_speedup"`
+}
+
+// Fig7bExpectations gates the CC drift experiment.
+type Fig7bExpectations struct {
+	// MinPostDriftRatio is the floor on NeurDB(CC)/Polyjuice post-drift
+	// throughput.
+	MinPostDriftRatio float64 `json:"min_postdrift_ratio"`
+}
+
+// Table1Expectations gates the end-to-end PREDICT statements.
+type Table1Expectations struct {
+	// MaxFinalLoss bounds each statement's final training loss.
+	MaxFinalLoss float64 `json:"max_final_loss"`
+	// MinRows is the floor on returned prediction rows per statement.
+	MinRows int `json:"min_rows"`
+}
+
+// LoadExpectations reads an expectations file.
+func LoadExpectations(path string) (*Expectations, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var e Expectations
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("bench: parse expectations %s: %w", path, err)
+	}
+	return &e, nil
+}
+
+// Check validates collected experiment results (as the neurdb-bench runner
+// accumulates them, keyed by experiment name) against the expectations and
+// returns one human-readable violation per failed threshold.
+func (e *Expectations) Check(results map[string]any) []string {
+	var bad []string
+	fail := func(format string, args ...any) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+
+	if e.Fig6a != nil {
+		if rows, ok := results["fig6a"].([]Fig6aRow); ok {
+			for _, r := range rows {
+				floor, gated := e.Fig6a.MinTputSpeedup[r.Workload]
+				if gated && r.TputSpeedup < floor {
+					fail("fig6a %s: tput speedup %.3f below floor %.3f", r.Workload, r.TputSpeedup, floor)
+				}
+			}
+		}
+	}
+	if e.Fig6c != nil {
+		if res, ok := results["fig6c"].(*Fig6cResult); ok {
+			if res.StorageFullBytes > 0 {
+				ratio := float64(res.StorageIncBytes) / float64(res.StorageFullBytes)
+				if ratio > e.Fig6c.MaxStorageRatio {
+					fail("fig6c: storage ratio %.3f above ceiling %.3f", ratio, e.Fig6c.MaxStorageRatio)
+				}
+			}
+			if res.MeanPostDriftNoInc > 0 && e.Fig6c.MaxPostDriftLossRatio > 0 {
+				ratio := res.MeanPostDriftInc / res.MeanPostDriftNoInc
+				if ratio > e.Fig6c.MaxPostDriftLossRatio {
+					fail("fig6c: post-drift loss ratio %.3f above ceiling %.3f", ratio, e.Fig6c.MaxPostDriftLossRatio)
+				}
+			}
+		}
+	}
+	if e.Fig7a != nil {
+		if rows, ok := results["fig7a"].([]Fig7aRow); ok {
+			for _, r := range rows {
+				if r.Speedup < e.Fig7a.MinSpeedup {
+					fail("fig7a %d threads: learned-CC speedup %.3f below floor %.3f", r.Threads, r.Speedup, e.Fig7a.MinSpeedup)
+				}
+			}
+		}
+	}
+	if e.Fig7b != nil {
+		if res, ok := results["fig7b"].(*Fig7bResult); ok {
+			if res.PostDriftRatio < e.Fig7b.MinPostDriftRatio {
+				fail("fig7b: post-drift ratio %.3f below floor %.3f", res.PostDriftRatio, e.Fig7b.MinPostDriftRatio)
+			}
+		}
+	}
+	if e.Table1 != nil {
+		if rows, ok := results["table1"].([]Table1Row); ok {
+			for _, r := range rows {
+				if e.Table1.MaxFinalLoss > 0 && r.FinalLoss > e.Table1.MaxFinalLoss {
+					fail("table1 %s: final loss %.4f above ceiling %.4f", r.Workload, r.FinalLoss, e.Table1.MaxFinalLoss)
+				}
+				if r.Rows < e.Table1.MinRows {
+					fail("table1 %s: %d rows below floor %d", r.Workload, r.Rows, e.Table1.MinRows)
+				}
+			}
+		}
+	}
+	return bad
+}

@@ -1,0 +1,37 @@
+package bench
+
+import "testing"
+
+func TestExpectationsCheck(t *testing.T) {
+	results := map[string]any{
+		"fig6a": []Fig6aRow{{Workload: "E", TputSpeedup: 1.0}, {Workload: "H", TputSpeedup: 1.2}},
+		"fig6c": &Fig6cResult{
+			StorageFullBytes: 1000, StorageIncBytes: 300,
+			MeanPostDriftNoInc: 0.5, MeanPostDriftInc: 0.4,
+		},
+		"fig7b": &Fig7bResult{PostDriftRatio: 0.5},
+	}
+
+	pass := &Expectations{
+		Fig6a: &Fig6aExpectations{MinTputSpeedup: map[string]float64{"E": 0.8, "H": 0.8}},
+		Fig6c: &Fig6cExpectations{MaxStorageRatio: 0.5, MaxPostDriftLossRatio: 1.1},
+		Fig7b: &Fig7bExpectations{MinPostDriftRatio: 0.25},
+	}
+	if v := pass.Check(results); len(v) != 0 {
+		t.Fatalf("expected pass, got %v", v)
+	}
+
+	failing := &Expectations{
+		Fig6a: &Fig6aExpectations{MinTputSpeedup: map[string]float64{"E": 1.5}},
+		Fig6c: &Fig6cExpectations{MaxStorageRatio: 0.1},
+		Fig7b: &Fig7bExpectations{MinPostDriftRatio: 0.9},
+	}
+	if v := failing.Check(results); len(v) != 3 {
+		t.Fatalf("expected 3 violations, got %v", v)
+	}
+
+	// Experiments absent from results are skipped, not violations.
+	if v := failing.Check(map[string]any{}); len(v) != 0 {
+		t.Fatalf("missing experiments must be skipped, got %v", v)
+	}
+}

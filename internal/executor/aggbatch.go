@@ -1,0 +1,259 @@
+package executor
+
+import (
+	"neurdb/internal/plan"
+	"neurdb/internal/rel"
+)
+
+// aggBatch is the vectorized aggregation operator: a grouped hash table
+// keyed on the encoded group-by columns, with columnar accumulator arrays
+// (one flat slice per accumulator kind, indexed slot*nAgg+item) instead of
+// a per-group state object. The aggregate argument expressions are
+// precompiled so plain column references skip interface dispatch, numeric
+// min/max comparisons run on cached float mirrors instead of rel.Compare,
+// the group-key buffer is reused across rows, and the hash table is probed
+// with an allocation-free string conversion — steady-state accumulation
+// allocates only when a new group appears.
+type aggBatch struct {
+	node  *plan.Agg
+	child BatchIter
+
+	specs   []aggArgSpec // aggregate items only, precompiled
+	keyCols []int        // group-by column fast path (-1 = general expr)
+
+	slots  map[string]int // encoded group key -> slot
+	firsts []rel.Row      // first row seen per slot (key-expression source)
+	// Columnar accumulators, all indexed slot*nAgg + item.
+	cnts []int64 // non-null inputs (COUNT)
+	sums []float64
+	mins []rel.Value
+	maxs []rel.Value
+	// minF/maxF mirror mins/maxs as floats while the running extreme is
+	// numeric, so the common comparison is one float compare.
+	minF []float64
+	maxF []float64
+
+	keyBuf []byte
+	out    []rel.Row
+	pos    int
+}
+
+// aggArgSpec is one precompiled aggregate item.
+type aggArgSpec struct {
+	idx int      // position in node.Items (and in the accumulator stride)
+	arg rel.Expr // nil for COUNT(*)
+	col int      // column index when arg is a plain ColRef, else -1
+}
+
+// colOf returns the column index of a plain column reference, or -1.
+func colOf(e rel.Expr) int {
+	if c, ok := e.(*rel.ColRef); ok {
+		return c.Idx
+	}
+	return -1
+}
+
+func numericType(t rel.Type) bool {
+	return t == rel.TypeInt || t == rel.TypeFloat || t == rel.TypeBool
+}
+
+// fastFloat is Value.AsFloat without the method-value copy for the types
+// the accumulator loop sees constantly.
+func fastFloat(v rel.Value) float64 {
+	switch v.Typ {
+	case rel.TypeInt:
+		return float64(v.I)
+	case rel.TypeFloat:
+		return v.F
+	case rel.TypeBool:
+		if v.B {
+			return 1
+		}
+		return 0
+	default:
+		return v.AsFloat()
+	}
+}
+
+func (a *aggBatch) Open() error {
+	if err := a.child.Open(); err != nil {
+		return err
+	}
+	defer a.child.Close()
+	a.slots = make(map[string]int)
+	a.specs = a.specs[:0]
+	for i, item := range a.node.Items {
+		if item.Agg == nil {
+			continue
+		}
+		sp := aggArgSpec{idx: i, arg: item.Agg.Arg, col: -1}
+		if sp.arg != nil {
+			sp.col = colOf(sp.arg)
+		}
+		a.specs = append(a.specs, sp)
+	}
+	a.keyCols = a.keyCols[:0]
+	for _, g := range a.node.GroupBy {
+		a.keyCols = append(a.keyCols, colOf(g))
+	}
+	nAgg := len(a.node.Items)
+	in := rel.NewBatch(BatchSize)
+	for {
+		n, err := a.child.NextBatch(in)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			break
+		}
+		for _, row := range in.Rows {
+			a.accumulate(a.slot(row, nAgg)*nAgg, row)
+		}
+	}
+	a.finalize(nAgg)
+	return nil
+}
+
+// slot returns the accumulator slot for the row's group, creating it on
+// first sight. Group keys are the same self-delimiting encoding the scalar
+// engine uses, so NULLs and mixed types group identically on both paths.
+func (a *aggBatch) slot(row rel.Row, nAgg int) int {
+	a.keyBuf = a.keyBuf[:0]
+	for k, g := range a.node.GroupBy {
+		var v rel.Value
+		if col := a.keyCols[k]; col >= 0 {
+			v = row[col]
+		} else {
+			v = g.Eval(row)
+		}
+		a.keyBuf = rel.EncodeValue(a.keyBuf, v)
+	}
+	if s, ok := a.slots[string(a.keyBuf)]; ok {
+		return s
+	}
+	s := len(a.firsts)
+	a.slots[string(a.keyBuf)] = s
+	a.firsts = append(a.firsts, row)
+	a.cnts = append(a.cnts, make([]int64, nAgg)...)
+	a.sums = append(a.sums, make([]float64, nAgg)...)
+	a.mins = append(a.mins, make([]rel.Value, nAgg)...)
+	a.maxs = append(a.maxs, make([]rel.Value, nAgg)...)
+	a.minF = append(a.minF, make([]float64, nAgg)...)
+	a.maxF = append(a.maxF, make([]float64, nAgg)...)
+	return s
+}
+
+// accumulate folds one row into the accumulators starting at base.
+func (a *aggBatch) accumulate(base int, row rel.Row) {
+	for s := range a.specs {
+		sp := &a.specs[s]
+		j := base + sp.idx
+		if sp.arg == nil { // COUNT(*)
+			a.cnts[j]++
+			continue
+		}
+		var v rel.Value
+		if sp.col >= 0 {
+			v = row[sp.col]
+		} else {
+			v = sp.arg.Eval(row)
+		}
+		if v.Typ == rel.TypeNull {
+			continue
+		}
+		a.cnts[j]++
+		f := fastFloat(v)
+		a.sums[j] += f
+		if a.cnts[j] == 1 {
+			a.mins[j], a.maxs[j] = v, v
+			a.minF[j], a.maxF[j] = f, f
+			continue
+		}
+		if numericType(v.Typ) && numericType(a.mins[j].Typ) {
+			// Numeric fast path: the float mirrors carry the ordering.
+			if f < a.minF[j] {
+				a.mins[j], a.minF[j] = v, f
+			}
+			if f > a.maxF[j] {
+				a.maxs[j], a.maxF[j] = v, f
+			}
+			continue
+		}
+		if rel.Compare(v, a.mins[j]) < 0 {
+			a.mins[j], a.minF[j] = v, f
+		}
+		if rel.Compare(v, a.maxs[j]) > 0 {
+			a.maxs[j], a.maxF[j] = v, f
+		}
+	}
+}
+
+// finalize materializes one output row per group, in first-seen order. A
+// scalar aggregate (no GROUP BY) over empty input still yields one row.
+func (a *aggBatch) finalize(nAgg int) {
+	nGroups := len(a.firsts)
+	if nGroups == 0 && len(a.node.GroupBy) == 0 {
+		a.firsts = append(a.firsts, nil)
+		a.cnts = make([]int64, nAgg)
+		a.sums = make([]float64, nAgg)
+		a.mins = make([]rel.Value, nAgg)
+		a.maxs = make([]rel.Value, nAgg)
+		nGroups = 1
+	}
+	a.out = make([]rel.Row, 0, nGroups)
+	for slot := 0; slot < nGroups; slot++ {
+		base := slot * nAgg
+		row := make(rel.Row, nAgg)
+		for i, item := range a.node.Items {
+			if item.Agg == nil {
+				if a.firsts[slot] == nil {
+					row[i] = rel.Null()
+				} else {
+					row[i] = item.Key.Eval(a.firsts[slot])
+				}
+				continue
+			}
+			cnt := a.cnts[base+i]
+			switch item.Agg.Kind {
+			case plan.AggCount:
+				row[i] = rel.Int(cnt)
+			case plan.AggSum:
+				if cnt == 0 {
+					row[i] = rel.Null()
+				} else {
+					row[i] = rel.Float(a.sums[base+i])
+				}
+			case plan.AggAvg:
+				if cnt == 0 {
+					row[i] = rel.Null()
+				} else {
+					row[i] = rel.Float(a.sums[base+i] / float64(cnt))
+				}
+			case plan.AggMin:
+				if cnt == 0 {
+					row[i] = rel.Null()
+				} else {
+					row[i] = a.mins[base+i]
+				}
+			case plan.AggMax:
+				if cnt == 0 {
+					row[i] = rel.Null()
+				} else {
+					row[i] = a.maxs[base+i]
+				}
+			}
+		}
+		a.out = append(a.out, row)
+	}
+}
+
+func (a *aggBatch) NextBatch(dst *rel.Batch) (int, error) {
+	dst.Reset()
+	for a.pos < len(a.out) && dst.Len() < BatchSize {
+		dst.Append(a.out[a.pos])
+		a.pos++
+	}
+	return dst.Len(), nil
+}
+
+func (a *aggBatch) Close() error { return nil }

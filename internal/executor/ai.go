@@ -208,7 +208,7 @@ func RunPredict(ctx *Ctx, eng *aiengine.Engine, task PredictTask) (*PredictResul
 	if epochs <= 0 {
 		// Target ~60 optimization steps for small datasets.
 		stepsPerEpoch := (len(trainRows) + task.BatchSize - 1) / task.BatchSize
-		epochs = 60/maxInt(stepsPerEpoch, 1) + 1
+		epochs = 60/max(stepsPerEpoch, 1) + 1
 		if epochs > 40 {
 			epochs = 40
 		}
@@ -281,11 +281,4 @@ func RunPredict(ctx *Ctx, eng *aiengine.Engine, task PredictTask) (*PredictResul
 	}
 	res.Predictions = preds
 	return res, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

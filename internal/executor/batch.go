@@ -27,9 +27,10 @@ type BatchIter interface {
 }
 
 // BuildBatch compiles a plan into a batch-iterator tree. Seq scans, index
-// scans, filters, projections and hash joins execute natively batch-at-a-
-// time; any other operator is built as a row iterator (whose own inputs are
-// again batch-backed) and adapted via NewBatchIter.
+// scans, filters, projections, hash joins, aggregation, sort and limit
+// execute natively batch-at-a-time; only the nested-loop joins are built as
+// row iterators (whose own inputs are again batch-backed) and adapted via
+// NewBatchIter.
 func BuildBatch(n plan.Node, ctx *Ctx) (BatchIter, error) {
 	switch t := n.(type) {
 	case *plan.SeqScan:
@@ -58,6 +59,24 @@ func BuildBatch(n plan.Node, ctx *Ctx) (BatchIter, error) {
 			return nil, err
 		}
 		return &hashJoinBatch{node: t, left: l, right: r, in: rel.NewBatch(BatchSize)}, nil
+	case *plan.Agg:
+		c, err := BuildBatch(t.Child, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &aggBatch{node: t, child: c}, nil
+	case *plan.Sort:
+		c, err := BuildBatch(t.Child, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &sortBatch{keys: t.Keys, child: c}, nil
+	case *plan.Limit:
+		c, err := BuildBatch(t.Child, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &limitBatch{n: t.N, child: c}, nil
 	default:
 		it, err := Build(n, ctx)
 		if err != nil {
@@ -69,9 +88,9 @@ func BuildBatch(n plan.Node, ctx *Ctx) (BatchIter, error) {
 
 // --- adapters ---
 
-// rowIter adapts a BatchIter to the scalar Iter interface, letting
-// row-at-a-time operators (sort, aggregate, limit, the nested-loop joins,
-// DML helpers, AI operators) consume batch-producing subtrees unchanged.
+// rowIter adapts a BatchIter to the scalar Iter interface, letting the
+// remaining row-at-a-time operators (the nested-loop joins) and row-oriented
+// callers consume batch-producing subtrees unchanged.
 type rowIter struct {
 	b    BatchIter
 	buf  *rel.Batch

@@ -78,9 +78,15 @@ func TestBatchEngineMatchesScalarEngine(t *testing.T) {
 	r := rand.New(rand.NewSource(42))
 	ctx := db.ctx()
 	for i := 0; i < 3000; i++ {
-		if _, err := InsertRow(ctx, items, rel.Row{
-			rel.Int(int64(i)), rel.Int(int64(r.Intn(10))), rel.Float(r.Float64() * 100),
-		}); err != nil {
+		cat := rel.Int(int64(r.Intn(10)))
+		if i%23 == 0 {
+			cat = rel.Null() // NULL group keys
+		}
+		price := rel.Float(r.Float64() * 100)
+		if i%31 == 0 {
+			price = rel.Null() // NULL aggregate inputs
+		}
+		if _, err := InsertRow(ctx, items, rel.Row{rel.Int(int64(i)), cat, price}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -113,9 +119,20 @@ func TestBatchEngineMatchesScalarEngine(t *testing.T) {
 		"SELECT id, price * 2 FROM items WHERE price > 50",
 		"SELECT i.id, c.label FROM items i JOIN cats c ON i.cat = c.cid WHERE i.price > 90",
 		"SELECT cat, COUNT(*), SUM(price) FROM items GROUP BY cat",
+		"SELECT cat, AVG(price), MIN(price), MAX(price) FROM items GROUP BY cat",
 		"SELECT id FROM items ORDER BY price DESC LIMIT 17",
 		"SELECT COUNT(*) FROM items WHERE id < 1000",
+		"SELECT COUNT(*), SUM(price), AVG(price), MIN(price), MAX(price) FROM items",
 		"SELECT i.id, c.label FROM items i, cats c WHERE i.cat = c.cid AND c.label = 'c7'",
+		// Edge cases: empty input under agg/sort/limit, LIMIT 0, LIMIT
+		// beyond the table, LIMIT on a batch boundary.
+		"SELECT COUNT(*), SUM(price) FROM items WHERE id < 0",
+		"SELECT cat, COUNT(*) FROM items WHERE id < 0 GROUP BY cat",
+		"SELECT id FROM items WHERE id < 0 ORDER BY price",
+		"SELECT id FROM items ORDER BY price LIMIT 0",
+		"SELECT id FROM items LIMIT 0",
+		"SELECT id FROM items LIMIT 100000",
+		"SELECT id FROM items ORDER BY cat, price DESC LIMIT 512",
 	}
 	for _, sql := range queries {
 		batched, err := db.tryQuery(sql) // Run → batch engine
@@ -133,6 +150,51 @@ func TestBatchEngineMatchesScalarEngine(t *testing.T) {
 		for i := range bc {
 			if bc[i] != sc[i] {
 				t.Fatalf("%q: row %d differs: batch %q scalar %q", sql, i, bc[i], sc[i])
+			}
+		}
+	}
+}
+
+// TestBatchSortOrderMatchesScalar pins the *sequence* the batch sort emits
+// (the multiset check above sorts rows canonically, so it cannot see
+// ordering bugs). Both engines use a stable sort over the same heap order,
+// so ties must come out identically too.
+func TestBatchSortOrderMatchesScalar(t *testing.T) {
+	db := newTestDB(t)
+	tbl := db.mustCreate("s",
+		rel.Column{Name: "id", Typ: rel.TypeInt},
+		rel.Column{Name: "k", Typ: rel.TypeInt},
+	)
+	r := rand.New(rand.NewSource(7))
+	var rows []rel.Row
+	for i := 0; i < 1000; i++ {
+		k := rel.Int(int64(r.Intn(5))) // heavy ties
+		if i%19 == 0 {
+			k = rel.Null() // NULL sort keys (sort first)
+		}
+		rows = append(rows, rel.Row{rel.Int(int64(i)), k})
+	}
+	db.insert(tbl, rows...)
+	for _, sql := range []string{
+		"SELECT id, k FROM s ORDER BY k",
+		"SELECT id, k FROM s ORDER BY k DESC",
+		"SELECT id, k FROM s ORDER BY k, id DESC",
+		"SELECT id, k FROM s ORDER BY k DESC LIMIT 300",
+	} {
+		batched, err := db.tryQuery(sql)
+		if err != nil {
+			t.Fatalf("batch %q: %v", sql, err)
+		}
+		scalar, err := db.runScalar(sql)
+		if err != nil {
+			t.Fatalf("scalar %q: %v", sql, err)
+		}
+		if len(batched) != len(scalar) {
+			t.Fatalf("%q: batch %d rows, scalar %d", sql, len(batched), len(scalar))
+		}
+		for i := range batched {
+			if batched[i].String() != scalar[i].String() {
+				t.Fatalf("%q: position %d differs: batch %v scalar %v", sql, i, batched[i], scalar[i])
 			}
 		}
 	}

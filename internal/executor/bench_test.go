@@ -186,3 +186,137 @@ func BenchmarkHashJoinBatch(b *testing.B) {
 		}
 	}
 }
+
+// aggPlanNode builds GROUP BY grp with COUNT/SUM/MIN/MAX(val) — the shape
+// the aggregation benchmarks run.
+func aggPlanNode(tbl *catalog.Table) *plan.Agg {
+	grp := &rel.ColRef{Idx: 1}
+	val := &rel.ColRef{Idx: 2}
+	return &plan.Agg{
+		Child:   &plan.SeqScan{Base: plan.Base{Out: tbl.Schema}, Table: tbl},
+		GroupBy: []rel.Expr{grp},
+		Items: []plan.AggItem{
+			{Key: grp},
+			{Agg: &plan.AggSpec{Kind: plan.AggCount}},
+			{Agg: &plan.AggSpec{Kind: plan.AggSum, Arg: val}},
+			{Agg: &plan.AggSpec{Kind: plan.AggMin, Arg: val}},
+			{Agg: &plan.AggSpec{Kind: plan.AggMax, Arg: val}},
+		},
+	}
+}
+
+// BenchmarkAggRowAdapter is the pre-PR-2 production aggregation path: the
+// scalar aggIter pulling rows one at a time through the batch-scan adapter,
+// re-encoding the group key into a fresh allocation per row.
+func BenchmarkAggRowAdapter(b *testing.B) {
+	e := newBenchEnv(b)
+	tbl := e.fill(b, "t", scanRows, 16)
+	node := aggPlanNode(tbl)
+	ctx := e.readCtx()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scan, err := BuildBatch(node.Child, ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		it := &aggIter{node: node, child: NewRowIter(scan)}
+		if got := drainScalar(b, it); got != 16 {
+			b.Fatalf("agg produced %d groups", got)
+		}
+	}
+	b.ReportMetric(float64(scanRows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkAggBatch is the native vectorized aggregation: grouped hash
+// table with a reused key buffer and columnar accumulators, fed directly by
+// the batch scan.
+func BenchmarkAggBatch(b *testing.B) {
+	e := newBenchEnv(b)
+	tbl := e.fill(b, "t", scanRows, 16)
+	node := aggPlanNode(tbl)
+	ctx := e.readCtx()
+	batch := rel.NewBatch(BatchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it, err := BuildBatch(node, ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := drainBatch(b, it, batch); got != 16 {
+			b.Fatalf("agg produced %d groups", got)
+		}
+	}
+	b.ReportMetric(float64(scanRows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// --- batch DML ---
+
+const dmlRows = 100_000
+
+func dmlWhere() rel.Expr {
+	return &rel.BinOp{Kind: rel.OpEq, L: &rel.ColRef{Idx: 1}, R: &rel.Const{Val: rel.Int(7)}}
+}
+
+func dmlSet() map[int]rel.Expr {
+	return map[int]rel.Expr{2: &rel.BinOp{Kind: rel.OpAdd,
+		L: &rel.ColRef{Idx: 2}, R: &rel.Const{Val: rel.Float(1)}}}
+}
+
+// benchDML times one DML statement per iteration over a 100k-row table,
+// aborting outside the timer so every iteration sees identical data.
+func benchDML(b *testing.B, run func(ctx *Ctx, tbl *catalog.Table) (int, error)) {
+	e := newBenchEnv(b)
+	tbl := e.fill(b, "t", dmlRows, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := &Ctx{Mgr: e.mgr, Txn: e.mgr.Begin(txn.Snapshot, false), Cat: e.cat}
+		n, err := run(ctx, tbl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal("DML matched no rows")
+		}
+		b.StopTimer()
+		e.mgr.Abort(ctx.Txn)
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(dmlRows)*float64(b.N)/b.Elapsed().Seconds(), "scanned_rows/s")
+}
+
+// BenchmarkUpdateWhereRowCursor is the legacy row-at-a-time UPDATE: one
+// cursor step, one visibility call, and one writeMu acquisition per row.
+func BenchmarkUpdateWhereRowCursor(b *testing.B) {
+	set, where := dmlSet(), dmlWhere()
+	benchDML(b, func(ctx *Ctx, tbl *catalog.Table) (int, error) {
+		return updateWhereRowCursor(ctx, tbl, set, where)
+	})
+}
+
+// BenchmarkUpdateWhereBatch is the page-batched UPDATE: per-page visibility,
+// claims, index and statistics maintenance.
+func BenchmarkUpdateWhereBatch(b *testing.B) {
+	set, where := dmlSet(), dmlWhere()
+	benchDML(b, func(ctx *Ctx, tbl *catalog.Table) (int, error) {
+		return UpdateWhere(ctx, tbl, set, where)
+	})
+}
+
+// BenchmarkDeleteWhereRowCursor is the legacy row-at-a-time DELETE.
+func BenchmarkDeleteWhereRowCursor(b *testing.B) {
+	where := dmlWhere()
+	benchDML(b, func(ctx *Ctx, tbl *catalog.Table) (int, error) {
+		return deleteWhereRowCursor(ctx, tbl, where)
+	})
+}
+
+// BenchmarkDeleteWhereBatch is the page-batched DELETE.
+func BenchmarkDeleteWhereBatch(b *testing.B) {
+	where := dmlWhere()
+	benchDML(b, func(ctx *Ctx, tbl *catalog.Table) (int, error) {
+		return DeleteWhere(ctx, tbl, where)
+	})
+}

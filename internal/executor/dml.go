@@ -30,95 +30,102 @@ func InsertRow(ctx *Ctx, t *catalog.Table, row rel.Row) (storage.RowID, error) {
 	return id, nil
 }
 
-// UpdateWhere updates rows matching the (possibly nil) predicate, setting
-// columns via the given expressions (evaluated against the old row). It
-// returns the number of rows updated.
-func UpdateWhere(ctx *Ctx, t *catalog.Table, set map[int]rel.Expr, where rel.Expr) (int, error) {
-	type pending struct {
-		id       storage.RowID
-		old, new rel.Row
-	}
-	var todo []pending
-	cursor := t.Heap.NewCursor()
+// dmlScan drives the shared page-batched DML loop: each heap page is read
+// through Manager.ReadPageVisible (one visibility call per page), filtered
+// by the predicate, and handed to apply as aligned id/row slices. apply runs
+// before the scan moves to the next page; updates only replace chain heads
+// on the page just visited (deletes free no slots mid-transaction), so the
+// page-snapshot scan never re-observes the statement's own writes.
+func dmlScan(ctx *Ctx, t *catalog.Table, where rel.Expr, apply func(ids []storage.RowID, rows []rel.Row) error) (int, error) {
+	total := 0
+	ids := make([]storage.RowID, 0, storage.RowsPerPage)
+	rows := make([]rel.Row, 0, storage.RowsPerPage)
+	cursor := t.Heap.NewBatchCursor()
 	for {
-		id, head, ok := cursor.Next()
+		pageID, heads, ok := cursor.NextPage()
 		if !ok {
-			break
+			return total, nil
 		}
-		row, visible := ctx.Mgr.ReadHead(t.ID, id, head, ctx.Txn)
-		if !visible {
+		ids, rows = ctx.Mgr.ReadPageVisible(t.ID, pageID, heads, ctx.Txn, ids[:0], rows[:0])
+		if where != nil {
+			k := 0
+			for i, row := range rows {
+				if where.Eval(row).AsBool() {
+					ids[k], rows[k] = ids[i], rows[i]
+					k++
+				}
+			}
+			ids, rows = ids[:k], rows[:k]
+		}
+		if len(ids) == 0 {
 			continue
 		}
-		if where != nil && !where.Eval(row).AsBool() {
-			continue
-		}
-		newRow := row.Clone()
-		for col, e := range set {
-			newRow[col] = e.Eval(row)
-		}
-		todo = append(todo, pending{id: id, old: row, new: newRow})
-	}
-	for _, p := range todo {
-		if err := ctx.Mgr.Update(t.Heap, p.id, p.new, ctx.Txn); err != nil {
+		if err := apply(ids, rows); err != nil {
 			return 0, err
 		}
-		for _, ix := range t.Indexes() {
-			if !rel.Equal(p.old[ix.Col], p.new[ix.Col]) {
-				// Lazy maintenance: add the new key; stale postings for the
-				// old key are filtered by visibility + recheck on scan.
-				ix.Insert(p.new[ix.Col], p.id)
-			}
-		}
-		t.Stats.NoteUpdate(p.old, p.new)
+		total += len(ids)
 	}
-	return len(todo), nil
 }
 
-// DeleteWhere deletes rows matching the (possibly nil) predicate, returning
+// UpdateWhere updates rows matching the (possibly nil) predicate, setting
+// columns via the given expressions (evaluated against the old row). The
+// heap is scanned page-at-a-time and writes, index maintenance, and
+// statistics are applied per page batch. It returns the number of rows
+// updated.
+func UpdateWhere(ctx *Ctx, t *catalog.Table, set map[int]rel.Expr, where rel.Expr) (int, error) {
+	news := make([]rel.Row, 0, storage.RowsPerPage)
+	return dmlScan(ctx, t, where, func(ids []storage.RowID, olds []rel.Row) error {
+		news = news[:0]
+		for _, row := range olds {
+			newRow := row.Clone()
+			for col, e := range set {
+				newRow[col] = e.Eval(row)
+			}
+			news = append(news, newRow)
+		}
+		if err := ctx.Mgr.UpdateBatch(t.Heap, ids, news, ctx.Txn); err != nil {
+			return err
+		}
+		for _, ix := range t.Indexes() {
+			for i, old := range olds {
+				if !rel.Equal(old[ix.Col], news[i][ix.Col]) {
+					// Lazy maintenance: add the new key; stale postings for
+					// the old key are filtered by visibility + recheck on
+					// scan.
+					ix.Insert(news[i][ix.Col], ids[i])
+				}
+			}
+		}
+		t.Stats.NoteUpdateBatch(olds, news)
+		return nil
+	})
+}
+
+// DeleteWhere deletes rows matching the (possibly nil) predicate, scanning
+// page-at-a-time and batching statistics maintenance per page. It returns
 // the number of rows deleted.
 func DeleteWhere(ctx *Ctx, t *catalog.Table, where rel.Expr) (int, error) {
-	type pending struct {
-		id  storage.RowID
-		row rel.Row
-	}
-	var todo []pending
-	cursor := t.Heap.NewCursor()
-	for {
-		id, head, ok := cursor.Next()
-		if !ok {
-			break
+	return dmlScan(ctx, t, where, func(ids []storage.RowID, rows []rel.Row) error {
+		if err := ctx.Mgr.DeleteBatch(t.Heap, ids, ctx.Txn); err != nil {
+			return err
 		}
-		row, visible := ctx.Mgr.ReadHead(t.ID, id, head, ctx.Txn)
-		if !visible {
-			continue
-		}
-		if where != nil && !where.Eval(row).AsBool() {
-			continue
-		}
-		todo = append(todo, pending{id: id, row: row})
-	}
-	for _, p := range todo {
-		if err := ctx.Mgr.Delete(t.Heap, p.id, ctx.Txn); err != nil {
-			return 0, err
-		}
-		t.Stats.NoteDelete(p.row)
-	}
-	return len(todo), nil
+		t.Stats.NoteDeleteBatch(rows)
+		return nil
+	})
 }
 
 // ScanAll returns every row visible to the context transaction (ANALYZE and
-// AI training-data extraction use this).
+// AI training-data extraction use this). It rides the page-batched read
+// path: one heap lock, one buffer-pool touch, and one visibility call per
+// page.
 func ScanAll(ctx *Ctx, t *catalog.Table) []rel.Row {
-	var out []rel.Row
-	cursor := t.Heap.NewCursor()
+	out := make([]rel.Row, 0, t.Heap.LiveRows())
+	cursor := t.Heap.NewBatchCursor()
 	for {
-		id, head, ok := cursor.Next()
+		pageID, heads, ok := cursor.NextPage()
 		if !ok {
 			return out
 		}
-		row, visible := ctx.Mgr.ReadHead(t.ID, id, head, ctx.Txn)
-		if visible {
-			out = append(out, row)
-		}
+		out = ctx.Mgr.ReadPage(t.ID, pageID, heads, ctx.Txn, out)
 	}
 }

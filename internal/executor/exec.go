@@ -30,12 +30,14 @@ type Iter interface {
 }
 
 // Build compiles a plan into an iterator tree. Operators with a native
-// vectorized implementation (scans, filter, project, hash join) execute
-// batch-at-a-time internally and surface rows through an adapter, so
-// row-oriented callers transparently ride the batch engine.
+// vectorized implementation (scans, filter, project, hash join,
+// aggregation, sort, limit) execute batch-at-a-time internally and surface
+// rows through an adapter, so row-oriented callers transparently ride the
+// batch engine.
 func Build(n plan.Node, ctx *Ctx) (Iter, error) {
 	switch n.(type) {
-	case *plan.SeqScan, *plan.IndexScan, *plan.HashJoin, *plan.Filter, *plan.Project:
+	case *plan.SeqScan, *plan.IndexScan, *plan.HashJoin, *plan.Filter,
+		*plan.Project, *plan.Agg, *plan.Sort, *plan.Limit:
 		b, err := BuildBatch(n, ctx)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,109 @@
+package executor
+
+import (
+	"sort"
+
+	"neurdb/internal/plan"
+	"neurdb/internal/rel"
+)
+
+// sortBatch is the vectorized sort: Open collects the child's batches,
+// evaluates each sort-key expression once per row into columnar key arrays,
+// and sorts an index permutation over them — rows are never moved and key
+// expressions are evaluated n times instead of O(n log n) comparator calls.
+// NextBatch re-emits the rows in permuted order, batch-at-a-time.
+type sortBatch struct {
+	keys  []plan.SortKey
+	child BatchIter
+
+	rows    []rel.Row
+	keyVals [][]rel.Value // one column per sort key, aligned with rows
+	idx     []int32
+	pos     int
+}
+
+func (s *sortBatch) Open() error {
+	if err := s.child.Open(); err != nil {
+		return err
+	}
+	defer s.child.Close()
+	in := rel.NewBatch(BatchSize)
+	for {
+		n, err := s.child.NextBatch(in)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			break
+		}
+		s.rows = append(s.rows, in.Rows...)
+	}
+	s.keyVals = make([][]rel.Value, len(s.keys))
+	for k, key := range s.keys {
+		col := make([]rel.Value, len(s.rows))
+		for i, row := range s.rows {
+			col[i] = key.E.Eval(row)
+		}
+		s.keyVals[k] = col
+	}
+	s.idx = make([]int32, len(s.rows))
+	for i := range s.idx {
+		s.idx[i] = int32(i)
+	}
+	sort.SliceStable(s.idx, func(a, b int) bool {
+		ia, ib := s.idx[a], s.idx[b]
+		for k := range s.keys {
+			c := rel.Compare(s.keyVals[k][ia], s.keyVals[k][ib])
+			if c == 0 {
+				continue
+			}
+			if s.keys[k].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return nil
+}
+
+func (s *sortBatch) NextBatch(dst *rel.Batch) (int, error) {
+	dst.Reset()
+	for s.pos < len(s.idx) && dst.Len() < BatchSize {
+		dst.Append(s.rows[s.idx[s.pos]])
+		s.pos++
+	}
+	return dst.Len(), nil
+}
+
+func (s *sortBatch) Close() error { return nil }
+
+// limitBatch caps the stream at n rows by slicing batches: full batches
+// pass through untouched, the final batch is truncated in place, and once
+// the limit is reached the child is not pulled again (LIMIT 0 never pulls).
+type limitBatch struct {
+	n     int64
+	child BatchIter
+	seen  int64
+}
+
+func (l *limitBatch) Open() error { return l.child.Open() }
+
+func (l *limitBatch) NextBatch(dst *rel.Batch) (int, error) {
+	if l.seen >= l.n {
+		dst.Reset()
+		return 0, nil
+	}
+	cnt, err := l.child.NextBatch(dst)
+	if err != nil || cnt == 0 {
+		return 0, err
+	}
+	if rem := l.n - l.seen; int64(cnt) > rem {
+		dst.Truncate(int(rem))
+		cnt = int(rem)
+	}
+	l.seen += int64(cnt)
+	return cnt, nil
+}
+
+func (l *limitBatch) Close() error { return l.child.Close() }

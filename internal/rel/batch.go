@@ -23,3 +23,15 @@ func (b *Batch) Len() int { return len(b.Rows) }
 
 // Append adds a row to the batch.
 func (b *Batch) Append(r Row) { b.Rows = append(b.Rows, r) }
+
+// Truncate shortens the batch to its first n rows. It is a no-op when the
+// batch already holds n or fewer; LIMIT uses it to slice a final partial
+// batch without copying.
+func (b *Batch) Truncate(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n < len(b.Rows) {
+		b.Rows = b.Rows[:n]
+	}
+}

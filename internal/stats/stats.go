@@ -132,8 +132,27 @@ func equiDepthBounds(sorted []float64, buckets int) []float64 {
 func (ts *TableStats) NoteInsert(row rel.Row) {
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
-	ts.RowCount++
 	ts.Version++
+	ts.noteInsertLocked(row)
+}
+
+// NoteInsertBatch folds a batch of inserted rows into the statistics under
+// one lock acquisition and one Version bump (a Version tick marks a change
+// batch, not a row).
+func (ts *TableStats) NoteInsertBatch(rows []rel.Row) {
+	if len(rows) == 0 {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.Version++
+	for _, row := range rows {
+		ts.noteInsertLocked(row)
+	}
+}
+
+func (ts *TableStats) noteInsertLocked(row rel.Row) {
+	ts.RowCount++
 	for i := 0; i < len(ts.Cols) && i < len(row); i++ {
 		c := &ts.Cols[i]
 		if row[i].IsNull() {
@@ -163,10 +182,28 @@ func (ts *TableStats) NoteInsert(row rel.Row) {
 func (ts *TableStats) NoteDelete(row rel.Row) {
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
+	ts.Version++
+	ts.noteDeleteLocked(row)
+}
+
+// NoteDeleteBatch removes a batch of deleted rows' contributions under one
+// lock acquisition and one Version bump.
+func (ts *TableStats) NoteDeleteBatch(rows []rel.Row) {
+	if len(rows) == 0 {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.Version++
+	for _, row := range rows {
+		ts.noteDeleteLocked(row)
+	}
+}
+
+func (ts *TableStats) noteDeleteLocked(row rel.Row) {
 	if ts.RowCount > 0 {
 		ts.RowCount--
 	}
-	ts.Version++
 	for i := 0; i < len(ts.Cols) && i < len(row); i++ {
 		c := &ts.Cols[i]
 		if c.Count > 0 {
@@ -186,6 +223,21 @@ func (ts *TableStats) NoteDelete(row rel.Row) {
 func (ts *TableStats) NoteUpdate(oldRow, newRow rel.Row) {
 	ts.NoteDelete(oldRow)
 	ts.NoteInsert(newRow)
+}
+
+// NoteUpdateBatch folds a batch of updates (aligned old/new slices) under
+// one lock acquisition and one Version bump.
+func (ts *TableStats) NoteUpdateBatch(oldRows, newRows []rel.Row) {
+	if len(oldRows) == 0 {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.Version++
+	for i, old := range oldRows {
+		ts.noteDeleteLocked(old)
+		ts.noteInsertLocked(newRows[i])
+	}
 }
 
 // Rows returns the current row-count estimate.

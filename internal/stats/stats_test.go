@@ -290,3 +290,66 @@ func TestConstantColumn(t *testing.T) {
 		t.Fatalf("constant column miss selectivity = %v", got)
 	}
 }
+
+// TestBatchNotesMatchPerRowNotes: the batched DML-maintenance entry points
+// must leave statistics identical to the per-row ones (modulo Version,
+// which ticks once per batch instead of once per row).
+func TestBatchNotesMatchPerRowNotes(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	mkRow := func(i int) rel.Row {
+		v := rel.Float(r.Float64() * 50)
+		if i%7 == 0 {
+			v = rel.Null()
+		}
+		return rel.Row{rel.Int(int64(i)), v}
+	}
+	var ins []rel.Row
+	for i := 0; i < 500; i++ {
+		ins = append(ins, mkRow(i))
+	}
+	var olds, news []rel.Row
+	for i := 0; i < 200; i++ {
+		olds = append(olds, ins[i])
+		news = append(news, rel.Row{ins[i][0], rel.Float(999)})
+	}
+
+	a, b := NewTableStats(2), NewTableStats(2)
+	a.NoteInsertBatch(ins)
+	for _, row := range ins {
+		b.NoteInsert(row)
+	}
+	a.NoteUpdateBatch(olds, news)
+	for i := range olds {
+		b.NoteUpdate(olds[i], news[i])
+	}
+	a.NoteDeleteBatch(ins[300:400])
+	for _, row := range ins[300:400] {
+		b.NoteDelete(row)
+	}
+
+	if a.Rows() != b.Rows() {
+		t.Fatalf("row counts diverge: batch %d per-row %d", a.Rows(), b.Rows())
+	}
+	for i := 0; i < 2; i++ {
+		ca, cb := a.Col(i), b.Col(i)
+		if ca.Count != cb.Count || ca.NullCount != cb.NullCount ||
+			ca.Min != cb.Min || ca.Max != cb.Max || ca.Sum != cb.Sum {
+			t.Fatalf("col %d diverges: batch %+v per-row %+v", i, ca, cb)
+		}
+	}
+	// One Version tick per batch: 3 batches on a, 800 per-row ticks on b.
+	if a.Version != 3 {
+		t.Fatalf("batch Version = %d, want 3", a.Version)
+	}
+}
+
+// TestBatchNotesEmptyAreNoOps: empty batches must not bump Version.
+func TestBatchNotesEmptyAreNoOps(t *testing.T) {
+	ts := NewTableStats(1)
+	ts.NoteInsertBatch(nil)
+	ts.NoteDeleteBatch(nil)
+	ts.NoteUpdateBatch(nil, nil)
+	if ts.Version != 0 || ts.Rows() != 0 {
+		t.Fatalf("empty batch mutated stats: v=%d rows=%d", ts.Version, ts.Rows())
+	}
+}

@@ -102,6 +102,34 @@ func (h *Heap) Head(id RowID) *Version {
 	return p.chains[id.Slot]
 }
 
+// Heads resolves the chain heads at ids in one pass, appending to dst (nil
+// for out-of-range or vacuumed slots). The heap lock is acquired once and
+// the buffer pool touched once per distinct consecutive page, so the batch
+// DML write path pays page-granular instead of row-granular lookup cost.
+// ids are expected to be page-clustered, as a batch scan produces them.
+func (h *Heap) Heads(ids []RowID, dst []*Version) []*Version {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	lastPage := uint32(math.MaxUint32)
+	for _, id := range ids {
+		if id.Page != lastPage {
+			if int(id.Page) < len(h.pages) {
+				h.touch(id.Page, false)
+			}
+			lastPage = id.Page
+		}
+		var v *Version
+		if int(id.Page) < len(h.pages) {
+			p := h.pages[id.Page]
+			if int(id.Slot) < len(p.chains) {
+				v = p.chains[id.Slot]
+			}
+		}
+		dst = append(dst, v)
+	}
+	return dst
+}
+
 // SetHead replaces the chain head at id (prepending a new version whose Next
 // must already link to the old head). Caller coordinates concurrency.
 func (h *Heap) SetHead(id RowID, v *Version) {

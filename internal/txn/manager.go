@@ -359,25 +359,37 @@ func (m *Manager) modify(h *storage.Heap, id storage.RowID, newRow rel.Row, t *T
 	}
 	m.writeMu.Lock()
 	defer m.writeMu.Unlock()
-	head := h.Head(id)
+	rec, err := m.claimLocked(h, id, h.Head(id), newRow, t, kind)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.writes = append(t.writes, rec)
+	t.mu.Unlock()
+	return nil
+}
+
+// claimLocked validates and claims the version of head visible to t,
+// installing the replacement head for updates. The caller holds writeMu.
+func (m *Manager) claimLocked(h *storage.Heap, id storage.RowID, head *storage.Version, newRow rel.Row, t *Txn, kind byte) (writeRec, error) {
 	if head == nil {
-		return fmt.Errorf("txn: modify missing row %v", id)
+		return writeRec{}, fmt.Errorf("txn: modify missing row %v", id)
 	}
 	vis, _ := m.visibleVersion(head, t)
 	if vis == nil {
-		return ErrWriteConflict // row gone or not yet visible
+		return writeRec{}, ErrWriteConflict // row gone or not yet visible
 	}
 	// First-updater-wins: if someone else already claimed this version.
 	if xmax := vis.XMax(); xmax != 0 && xmax != t.ID {
 		if _, committed := m.committedAt(xmax); committed {
-			return ErrWriteConflict // deleter committed after our snapshot
+			return writeRec{}, ErrWriteConflict // deleter committed after our snapshot
 		}
-		return ErrWriteConflict // concurrent active writer
+		return writeRec{}, ErrWriteConflict // concurrent active writer
 	}
 	// If the head is newer than our visible version, a concurrent writer
 	// already installed a successor: snapshot write conflict.
 	if vis != head && head.XMin != t.ID {
-		return ErrWriteConflict
+		return writeRec{}, ErrWriteConflict
 	}
 	// SSI: readers of this row have rw-antidependency into us.
 	if t.Level == Serializable {
@@ -390,10 +402,56 @@ func (m *Manager) modify(h *storage.Heap, id storage.RowID, newRow rel.Row, t *T
 		created = storage.NewVersion(newRow, t.ID, head)
 		h.SetHead(id, created)
 	}
-	t.mu.Lock()
-	t.writes = append(t.writes, writeRec{heap: h, id: id, created: created, old: vis, kind: kind})
-	t.mu.Unlock()
-	return nil
+	return writeRec{heap: h, id: id, created: created, old: vis, kind: kind}, nil
+}
+
+// UpdateBatch replaces the visible versions of ids with newRows (aligned
+// slices). It is the write-side counterpart of ReadPage: one writeMu
+// acquisition and one batched head lookup cover the whole batch, so
+// page-clustered DML pays per-page instead of per-row locking. On the first
+// conflicting row the error is returned immediately; rows already claimed
+// stay recorded in the transaction's write set, and the caller is expected
+// to abort (undoing them) as with any mid-statement write conflict.
+func (m *Manager) UpdateBatch(h *storage.Heap, ids []storage.RowID, newRows []rel.Row, t *Txn) error {
+	return m.modifyBatch(h, ids, newRows, t, 'u')
+}
+
+// DeleteBatch deletes the visible versions of ids. Semantics match
+// UpdateBatch with no replacement rows.
+func (m *Manager) DeleteBatch(h *storage.Heap, ids []storage.RowID, t *Txn) error {
+	return m.modifyBatch(h, ids, nil, t, 'd')
+}
+
+func (m *Manager) modifyBatch(h *storage.Heap, ids []storage.RowID, newRows []rel.Row, t *Txn, kind byte) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	if t.Status() != StatusActive {
+		return ErrTxnFinished
+	}
+	m.writeMu.Lock()
+	defer m.writeMu.Unlock()
+	heads := h.Heads(ids, make([]*storage.Version, 0, len(ids)))
+	recs := make([]writeRec, 0, len(ids))
+	var firstErr error
+	for i, id := range ids {
+		var newRow rel.Row
+		if kind == 'u' {
+			newRow = newRows[i]
+		}
+		rec, err := m.claimLocked(h, id, heads[i], newRow, t, kind)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) > 0 {
+		t.mu.Lock()
+		t.writes = append(t.writes, recs...)
+		t.mu.Unlock()
+	}
+	return firstErr
 }
 
 // flagReaders marks rw-antidependencies reader -> t for all registered
@@ -582,6 +640,46 @@ func (m *Manager) ReadPage(table int, pageID uint32, heads []*storage.Version, t
 		}
 	}
 	return dst
+}
+
+// ReadPageVisible is ReadPage for callers that also need row identity: it
+// appends each visible row to rows and its RowID to ids (aligned), so batch
+// DML can locate the versions it must claim without a second heap pass.
+// Visibility semantics, the serializable slow path, and the committed-live
+// fast path match ReadPage exactly.
+func (m *Manager) ReadPageVisible(table int, pageID uint32, heads []*storage.Version, t *Txn, ids []storage.RowID, rows []rel.Row) ([]storage.RowID, []rel.Row) {
+	if t.Level == Serializable && !t.ReadOnly {
+		for slot, head := range heads {
+			if head == nil {
+				continue
+			}
+			id := storage.RowID{Page: pageID, Slot: uint32(slot)}
+			if row, ok := m.ReadHead(table, id, head, t); ok {
+				ids = append(ids, id)
+				rows = append(rows, row)
+			}
+		}
+		return ids, rows
+	}
+	start := t.StartTS
+	for slot, head := range heads {
+		if head == nil {
+			continue
+		}
+		if head.XMin != t.ID {
+			// Fast path: creator committed within our snapshot, no deleter.
+			if bts := head.BeginTS(); bts != 0 && bts <= start && head.XMax() == 0 {
+				ids = append(ids, storage.RowID{Page: pageID, Slot: uint32(slot)})
+				rows = append(rows, head.Data)
+				continue
+			}
+		}
+		if v, _ := m.visibleVersion(head, t); v != nil {
+			ids = append(ids, storage.RowID{Page: pageID, Slot: uint32(slot)})
+			rows = append(rows, v.Data)
+		}
+	}
+	return ids, rows
 }
 
 // ReadHead is Read for callers that already hold the chain head (scans),

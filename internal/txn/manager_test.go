@@ -441,3 +441,170 @@ func TestReadMissingRow(t *testing.T) {
 		t.Fatal("updating missing row should error")
 	}
 }
+
+// --- batch write/read path ---
+
+// seedBatchHeap inserts n committed rows and returns their ids.
+func seedBatchHeap(t *testing.T, m *Manager, h *storage.Heap, n int) []storage.RowID {
+	t.Helper()
+	setup := m.Begin(Snapshot, false)
+	ids := make([]storage.RowID, n)
+	for i := 0; i < n; i++ {
+		id, err := m.Insert(h, rel.Row{rel.Int(int64(i))}, setup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	if err := m.Commit(setup); err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+func TestUpdateBatchCommitAndAbort(t *testing.T) {
+	m := NewManager()
+	h := newHeap()
+	ids := seedBatchHeap(t, m, h, 300) // spans multiple pages
+
+	// Committed batch update is visible afterwards.
+	tx := m.Begin(Snapshot, false)
+	news := make([]rel.Row, len(ids))
+	for i := range news {
+		news[i] = rel.Row{rel.Int(int64(-i))}
+	}
+	if err := m.UpdateBatch(h, ids, news, tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	check := m.Begin(Snapshot, true)
+	if row, ok := m.Read(h, ids[299], check); !ok || row[0].I != -299 {
+		t.Fatalf("batch update lost: %v", row)
+	}
+
+	// Aborted batch update rolls every claim back.
+	tx2 := m.Begin(Snapshot, false)
+	if err := m.UpdateBatch(h, ids, news, tx2); err != nil {
+		t.Fatal(err)
+	}
+	m.Abort(tx2)
+	tx3 := m.Begin(Snapshot, false)
+	if err := m.UpdateBatch(h, ids[:10], news[:10], tx3); err != nil {
+		t.Fatalf("claims not released after abort: %v", err)
+	}
+	m.Abort(tx3)
+}
+
+func TestUpdateBatchConflictRollsBackPartialClaims(t *testing.T) {
+	m := NewManager()
+	h := newHeap()
+	ids := seedBatchHeap(t, m, h, 10)
+	news := make([]rel.Row, len(ids))
+	for i := range news {
+		news[i] = rel.Row{rel.Int(100)}
+	}
+
+	// t1 claims a row in the middle of the batch; t2's batch must fail,
+	// and aborting t2 must release the rows it claimed before the
+	// conflict.
+	t1 := m.Begin(Snapshot, false)
+	if err := m.Update(h, ids[5], rel.Row{rel.Int(7)}, t1); err != nil {
+		t.Fatal(err)
+	}
+	t2 := m.Begin(Snapshot, false)
+	if err := m.UpdateBatch(h, ids, news, t2); !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("want write conflict, got %v", err)
+	}
+	m.Abort(t2)
+	if err := m.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+	// Rows 0..4 were claimed by t2 pre-conflict; the abort must have
+	// cleared them for a fresh writer.
+	t3 := m.Begin(Snapshot, false)
+	if err := m.UpdateBatch(h, ids[:5], news[:5], t3); err != nil {
+		t.Fatalf("pre-conflict claims not rolled back: %v", err)
+	}
+	if err := m.Commit(t3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteBatch(t *testing.T) {
+	m := NewManager()
+	h := newHeap()
+	ids := seedBatchHeap(t, m, h, 200)
+	tx := m.Begin(Snapshot, false)
+	if err := m.DeleteBatch(h, ids[:150], tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	if live := h.LiveRows(); live != 50 {
+		t.Fatalf("live rows after batch delete = %d, want 50", live)
+	}
+	check := m.Begin(Snapshot, true)
+	if _, ok := m.Read(h, ids[0], check); ok {
+		t.Fatal("deleted row still visible")
+	}
+	if _, ok := m.Read(h, ids[199], check); !ok {
+		t.Fatal("surviving row lost")
+	}
+}
+
+func TestReadPageVisibleAlignsIDsAndRows(t *testing.T) {
+	m := NewManager()
+	h := newHeap()
+	ids := seedBatchHeap(t, m, h, 200)
+
+	// Delete a few rows so the page has invisible entries.
+	del := m.Begin(Snapshot, false)
+	if err := m.DeleteBatch(h, []storage.RowID{ids[0], ids[3], ids[150]}, del); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(del); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := m.Begin(Snapshot, true)
+	var gotIDs []storage.RowID
+	var gotRows []rel.Row
+	cursor := h.NewBatchCursor()
+	for {
+		pageID, heads, ok := cursor.NextPage()
+		if !ok {
+			break
+		}
+		gotIDs, gotRows = m.ReadPageVisible(1, pageID, heads, tx, gotIDs, gotRows)
+	}
+	if len(gotIDs) != 197 || len(gotRows) != 197 {
+		t.Fatalf("got %d ids, %d rows, want 197", len(gotIDs), len(gotRows))
+	}
+	for i, id := range gotIDs {
+		// Row payload must match what a point read at that id returns.
+		row, ok := m.Read(h, id, tx)
+		if !ok || row[0].I != gotRows[i][0].I {
+			t.Fatalf("id %v misaligned: point read %v, batch %v", id, row, gotRows[i])
+		}
+	}
+}
+
+func TestHeapHeadsMatchesHead(t *testing.T) {
+	m := NewManager()
+	h := newHeap()
+	ids := seedBatchHeap(t, m, h, 300)
+	// Include out-of-range ids: Heads must yield nil, same as Head.
+	probe := append(append([]storage.RowID{}, ids...), storage.RowID{Page: 99, Slot: 0})
+	heads := h.Heads(probe, nil)
+	if len(heads) != len(probe) {
+		t.Fatalf("got %d heads, want %d", len(heads), len(probe))
+	}
+	for i, id := range probe {
+		if heads[i] != h.Head(id) {
+			t.Fatalf("heads[%d] mismatch for %v", i, id)
+		}
+	}
+}
