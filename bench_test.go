@@ -26,9 +26,26 @@ func benchScale() bench.Scale {
 		Fig7bPhase:     600 * time.Millisecond,
 		Fig7bIntervals: 4,
 
+		PreparedRows:  10_000,
+		PreparedIters: 1_000,
+
 		StatsScale:    1,
 		QORepeats:     2,
 		QOTrainPasses: 40,
+	}
+}
+
+// BenchmarkPreparedVsReparse measures prepared re-execution of a point
+// SELECT (plan-cache hit path) against parse-per-call Exec.
+func BenchmarkPreparedVsReparse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunPrepared(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Speedup, "speedup")
+		b.ReportMetric(res.PreparedNsPerOp, "prepared-ns/op")
+		b.ReportMetric(res.ReparseNsPerOp, "reparse-ns/op")
 	}
 }
 

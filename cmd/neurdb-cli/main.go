@@ -1,5 +1,7 @@
 // neurdb-cli is an interactive SQL shell over an in-memory NeurDB instance,
-// supporting the full dialect including the PREDICT extension.
+// supporting the full dialect including the PREDICT extension. Statements
+// run through the streaming Query API, so large SELECTs print as the
+// executor produces batches instead of after full materialization.
 package main
 
 import (
@@ -9,10 +11,12 @@ import (
 	"strings"
 
 	"neurdb"
+	"neurdb/internal/sqlparse"
 )
 
 func main() {
 	db := neurdb.Open(neurdb.DefaultConfig())
+	session := db.NewSession()
 	fmt.Println("NeurDB shell — end statements with ';' (quit with \\q)")
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
@@ -39,23 +43,40 @@ func main() {
 		}
 		sql := buf.String()
 		buf.Reset()
-		res, err := db.ExecScript(sql)
+		stmts, err := sqlparse.SplitScript(sql)
 		if err != nil {
 			fmt.Println("error:", err)
 			prompt()
 			continue
 		}
-		if res != nil {
-			if len(res.Columns) > 0 {
-				fmt.Println(strings.Join(res.Columns, " | "))
-			}
-			for _, row := range res.Rows {
-				fmt.Println(row.String())
-			}
-			if res.Message != "" {
-				fmt.Println(res.Message)
+		for _, stmt := range stmts {
+			if err := run(session, stmt); err != nil {
+				fmt.Println("error:", err)
+				break
 			}
 		}
 		prompt()
 	}
+}
+
+// run executes one statement and prints its result as it streams.
+func run(session *neurdb.Session, sql string) error {
+	rows, err := session.Query(sql)
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	if cols := rows.Columns(); len(cols) > 0 {
+		fmt.Println(strings.Join(cols, " | "))
+	}
+	for rows.Next() {
+		fmt.Println(rows.Row().String())
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	if msg := rows.Message(); msg != "" {
+		fmt.Println(msg)
+	}
+	return nil
 }

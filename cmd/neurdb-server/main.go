@@ -1,6 +1,9 @@
 // neurdb-server serves a NeurDB instance over a line-based TCP protocol:
 // each client sends one SQL statement per line (';' optional) and receives
-// result rows terminated by "OK" or an "ERR <message>" line.
+// result rows terminated by "OK" or an "ERR <message>" line. SELECT results
+// are streamed: rows are written (and flushed) one executor batch at a
+// time as the cursor produces them, so the server never materializes a full
+// result set per connection.
 package main
 
 import (
@@ -12,6 +15,7 @@ import (
 	"strings"
 
 	"neurdb"
+	"neurdb/internal/executor"
 )
 
 func main() {
@@ -46,22 +50,41 @@ func serve(db *neurdb.DB, conn net.Conn) {
 		if sql == "" {
 			continue
 		}
-		res, err := session.Exec(sql)
-		if err != nil {
+		if err := stream(session, w, sql); err != nil {
 			fmt.Fprintf(w, "ERR %v\n", err)
-			w.Flush()
-			continue
+		} else {
+			fmt.Fprintln(w, "OK")
 		}
-		if len(res.Columns) > 0 {
-			fmt.Fprintln(w, strings.Join(res.Columns, "\t"))
-		}
-		for _, row := range res.Rows {
-			fmt.Fprintln(w, row.String())
-		}
-		if res.Message != "" {
-			fmt.Fprintln(w, res.Message)
-		}
-		fmt.Fprintln(w, "OK")
 		w.Flush()
 	}
+}
+
+// stream executes one statement and writes its result incrementally: the
+// column header first, then rows flushed at every executor-batch boundary,
+// then the statement message. The cursor's read transaction stays open only
+// while rows flow.
+func stream(session *neurdb.Session, w *bufio.Writer, sql string) error {
+	rows, err := session.Query(sql)
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	if cols := rows.Columns(); len(cols) > 0 {
+		fmt.Fprintln(w, strings.Join(cols, "\t"))
+	}
+	n := 0
+	for rows.Next() {
+		fmt.Fprintln(w, rows.Row().String())
+		n++
+		if n%executor.BatchSize == 0 {
+			w.Flush() // batch boundary: push rows to the client now
+		}
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	if msg := rows.Message(); msg != "" {
+		fmt.Fprintln(w, msg)
+	}
+	return nil
 }

@@ -15,7 +15,18 @@
 //
 //	db := neurdb.Open(neurdb.DefaultConfig())
 //	db.Exec(`CREATE TABLE review (id INT PRIMARY KEY, brand TEXT, score DOUBLE)`)
-//	db.Exec(`INSERT INTO review VALUES (1, 'acme', 4.5)`)
+//
+//	ins, _ := db.Prepare(`INSERT INTO review VALUES (?, ?, ?)`) // planned once
+//	ins.Exec(1, "acme", 4.5)
+//
+//	rows, _ := db.Query(`SELECT brand, score FROM review WHERE score >= ?`, 4.0)
+//	defer rows.Close()
+//	for rows.Next() { // streams one executor batch at a time
+//		var brand string
+//		var score float64
+//		rows.Scan(&brand, &score)
+//	}
+//
 //	res, err := db.Exec(`PREDICT VALUE OF score FROM review TRAIN ON *`)
 package neurdb
 
@@ -89,6 +100,10 @@ type DB struct {
 	// learned optimizer state (lazily trained by callers via LearnedQO).
 	learnedQO *learnedopt.Model
 
+	// plans caches compiled SELECT plans for prepared statements, shared
+	// across sessions and invalidated by the catalog version.
+	plans *planCache
+
 	session *Session // implicit session for autocommit Exec
 }
 
@@ -111,6 +126,7 @@ func Open(cfg Config) *DB {
 		engine:     aiengine.NewEngine(store),
 		tracker:    monitor.NewTracker(),
 		staleStats: make(map[int]*stats.TableStats),
+		plans:      newPlanCache(DefaultPlanCacheSize),
 	}
 	db.session = db.NewSession()
 	return db
@@ -135,11 +151,13 @@ func (db *DB) BufferPool() *storage.BufferPool { return db.pool }
 func (db *DB) Monitor() *monitor.Tracker { return db.tracker }
 
 // SetLearnedQO installs a trained learned-optimizer model used by
-// LearnedMode planning.
+// LearnedMode planning. Cached plans chosen by the previous model (or the
+// cost fallback) are invalidated so prepared statements replan with it.
 func (db *DB) SetLearnedQO(m *learnedopt.Model) {
 	db.mu.Lock()
 	db.learnedQO = m
 	db.mu.Unlock()
+	db.cat.BumpVersion()
 }
 
 // LearnedQO returns the installed learned optimizer (nil if none).
@@ -174,15 +192,22 @@ type Result struct {
 }
 
 // Exec parses and executes one statement with autocommit semantics on the
-// implicit session.
-func (db *DB) Exec(sql string) (*Result, error) {
-	return db.session.Exec(sql)
+// implicit session, materializing the full result. Optional args bind '?'
+// or '$n' placeholders in the statement.
+func (db *DB) Exec(sql string, args ...any) (*Result, error) {
+	return db.session.Exec(sql, args...)
 }
 
-// Query is an alias of Exec for read statements.
-func (db *DB) Query(sql string) (*Result, error) { return db.Exec(sql) }
+// Query executes one statement on the implicit session and returns a
+// streaming cursor: SELECT results are pulled from the executor one batch
+// at a time and the read transaction stays open until Rows.Close. Optional
+// args bind '?' or '$n' placeholders.
+func (db *DB) Query(sql string, args ...any) (*Rows, error) {
+	return db.session.Query(sql, args...)
+}
 
 // ExecScript runs a semicolon-separated script, returning the last result.
+// Scripts take no parameters.
 func (db *DB) ExecScript(sql string) (*Result, error) {
 	stmts, err := sqlparse.ParseScript(sql)
 	if err != nil {
@@ -190,7 +215,10 @@ func (db *DB) ExecScript(sql string) (*Result, error) {
 	}
 	var last *Result
 	for _, stmt := range stmts {
-		last, err = db.session.execStmt(stmt)
+		if n := sqlparse.ParamCount(stmt); n > 0 {
+			return nil, fmt.Errorf("neurdb: script statement takes %d parameters; use Prepare/Exec with arguments", n)
+		}
+		last, err = db.session.execStmt(stmt, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -208,13 +236,72 @@ type Session struct {
 // NewSession creates an independent session.
 func (db *DB) NewSession() *Session { return &Session{db: db} }
 
-// Exec parses and executes one statement in this session.
-func (s *Session) Exec(sql string) (*Result, error) {
+// Exec parses and executes one statement in this session, materializing the
+// full result. Optional args bind '?' or '$n' placeholders.
+func (s *Session) Exec(sql string, args ...any) (*Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return s.execStmt(stmt)
+	vals, err := convertArgs(sqlparse.ParamCount(stmt), args)
+	if err != nil {
+		return nil, err
+	}
+	return s.execStmt(stmt, vals)
+}
+
+// Query executes one statement in this session and returns a streaming
+// cursor (see Rows). Optional args bind '?' or '$n' placeholders.
+func (s *Session) Query(sql string, args ...any) (*Rows, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := convertArgs(sqlparse.ParamCount(stmt), args)
+	if err != nil {
+		return nil, err
+	}
+	return s.queryStmt(stmt, vals)
+}
+
+// queryStmt routes a parsed statement to the streaming path: SELECTs stream
+// from the executor; everything else executes eagerly and is wrapped as a
+// materialized cursor.
+func (s *Session) queryStmt(stmt sqlparse.Stmt, args []rel.Value) (*Rows, error) {
+	if sel, ok := stmt.(*sqlparse.Select); ok {
+		return s.querySelect(sel, args)
+	}
+	res, err := s.execStmt(stmt, args)
+	if err != nil {
+		return nil, err
+	}
+	return newStaticRows(res), nil
+}
+
+// querySelect plans a SELECT (outside the plan cache; prepared statements
+// go through cachedPlan instead) and opens a streaming cursor over it.
+func (s *Session) querySelect(sel *sqlparse.Select, args []rel.Value) (*Rows, error) {
+	p, err := s.db.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	return s.streamPlan(p, p.Schema().Names(), len(args) > 0, args)
+}
+
+// streamPlan begins (or joins) the session's read transaction, binds
+// parameters into the plan, and opens the batch iterator as a Rows cursor.
+// The transaction is finalized by Rows.Close / end of stream.
+func (s *Session) streamPlan(p plan.Node, cols []string, hasParams bool, args []rel.Value) (*Rows, error) {
+	if hasParams {
+		p = plan.BindParams(p, args)
+	}
+	tx, done := s.begin(true)
+	ctx := &executor.Ctx{Mgr: s.db.mgr, Txn: tx, Cat: s.db.cat}
+	it, err := executor.BuildBatch(p, ctx)
+	if err != nil {
+		return nil, done(err)
+	}
+	return newStreamingRows(cols, it, done)
 }
 
 // level returns the configured isolation level.
@@ -244,7 +331,7 @@ func (s *Session) begin(readOnly bool) (*txn.Txn, func(error) error) {
 	}
 }
 
-func (s *Session) execStmt(stmt sqlparse.Stmt) (*Result, error) {
+func (s *Session) execStmt(stmt sqlparse.Stmt, args []rel.Value) (*Result, error) {
 	switch t := stmt.(type) {
 	case *sqlparse.CreateTable:
 		return s.execCreateTable(t)
@@ -259,13 +346,13 @@ func (s *Session) execStmt(stmt sqlparse.Stmt) (*Result, error) {
 		}
 		return &Result{Message: "DROP TABLE"}, nil
 	case *sqlparse.Insert:
-		return s.execInsert(t)
+		return s.execInsert(t, args)
 	case *sqlparse.Select:
-		return s.execSelect(t)
+		return s.execSelect(t, args)
 	case *sqlparse.Update:
-		return s.execUpdate(t)
+		return s.execUpdate(t, args)
 	case *sqlparse.Delete:
-		return s.execDelete(t)
+		return s.execDelete(t, args)
 	case *sqlparse.TxnStmt:
 		return s.execTxnStmt(t)
 	case *sqlparse.Analyze:
@@ -275,7 +362,7 @@ func (s *Session) execStmt(stmt sqlparse.Stmt) (*Result, error) {
 	case *sqlparse.SetStmt:
 		return s.execSet(t)
 	case *sqlparse.Predict:
-		return s.execPredict(t)
+		return s.execPredict(t, args)
 	default:
 		return nil, fmt.Errorf("neurdb: unsupported statement %T", stmt)
 	}
@@ -329,10 +416,12 @@ func (s *Session) execCreateIndex(ci *sqlparse.CreateIndex) (*Result, error) {
 	}
 	s.db.mgr.Abort(tx)
 	tbl.AddIndex(ix)
+	// New access path: invalidate cached plans.
+	s.db.cat.BumpVersion()
 	return &Result{Message: "CREATE INDEX"}, nil
 }
 
-func (s *Session) execInsert(ins *sqlparse.Insert) (*Result, error) {
+func (s *Session) execInsert(ins *sqlparse.Insert, args []rel.Value) (*Result, error) {
 	tbl, err := s.db.cat.Get(ins.Table)
 	if err != nil {
 		return nil, err
@@ -352,50 +441,50 @@ func (s *Session) execInsert(ins *sqlparse.Insert) (*Result, error) {
 			positions = append(positions, ci)
 		}
 	}
-	tx, done := s.begin(false)
-	ctx := &executor.Ctx{Mgr: s.db.mgr, Txn: tx, Cat: s.db.cat}
-	count := 0
-	var execErr error
+	// Evaluate every VALUES tuple before touching the heap, so a bad tuple
+	// inserts nothing; the materialized rows then ride the page-batched
+	// insert path in one transaction-manager call.
+	rows := make([]rel.Row, 0, len(ins.Rows))
 	for _, exprRow := range ins.Rows {
 		if len(exprRow) != len(positions) {
-			execErr = fmt.Errorf("neurdb: INSERT arity mismatch: %d values for %d columns", len(exprRow), len(positions))
-			break
+			return nil, fmt.Errorf("neurdb: INSERT arity mismatch: %d values for %d columns", len(exprRow), len(positions))
 		}
 		row := make(rel.Row, tbl.Schema.Arity())
 		for i := range row {
 			row[i] = rel.Null()
 		}
 		for i, e := range exprRow {
-			v, err := evalConstExpr(e)
+			v, err := evalConstExpr(e, args)
 			if err != nil {
-				execErr = err
-				break
+				return nil, err
 			}
 			row[positions[i]] = v
 		}
-		if execErr != nil {
-			break
-		}
-		if _, err := executor.InsertRow(ctx, tbl, row); err != nil {
-			execErr = err
-			break
-		}
-		count++
+		rows = append(rows, row)
 	}
+	tx, done := s.begin(false)
+	ctx := &executor.Ctx{Mgr: s.db.mgr, Txn: tx, Cat: s.db.cat}
+	_, execErr := executor.InsertBatch(ctx, tbl, rows)
 	if err := done(execErr); err != nil {
 		return nil, err
 	}
-	return &Result{Affected: count, Message: fmt.Sprintf("INSERT %d", count)}, nil
+	return &Result{Affected: len(rows), Message: fmt.Sprintf("INSERT %d", len(rows))}, nil
 }
 
-// evalConstExpr evaluates a parsed expression with no column references.
-func evalConstExpr(e sqlparse.Expr) (rel.Value, error) {
+// evalConstExpr evaluates a parsed expression with no column references;
+// parameters resolve against args.
+func evalConstExpr(e sqlparse.Expr, args []rel.Value) (rel.Value, error) {
 	switch t := e.(type) {
 	case *sqlparse.Lit:
 		return t.Val, nil
+	case *sqlparse.Param:
+		if t.Idx < 0 || t.Idx >= len(args) {
+			return rel.Value{}, fmt.Errorf("neurdb: parameter $%d out of range (%d bound)", t.Idx+1, len(args))
+		}
+		return args[t.Idx], nil
 	case *sqlparse.Unary:
 		if t.Op == "-" {
-			v, err := evalConstExpr(t.E)
+			v, err := evalConstExpr(t.E, args)
 			if err != nil {
 				return rel.Value{}, err
 			}
@@ -408,11 +497,11 @@ func evalConstExpr(e sqlparse.Expr) (rel.Value, error) {
 		}
 		return rel.Value{}, fmt.Errorf("neurdb: unsupported constant expression")
 	case *sqlparse.Binary:
-		l, err := evalConstExpr(t.L)
+		l, err := evalConstExpr(t.L, args)
 		if err != nil {
 			return rel.Value{}, err
 		}
-		r, err := evalConstExpr(t.R)
+		r, err := evalConstExpr(t.R, args)
 		if err != nil {
 			return rel.Value{}, err
 		}
@@ -485,21 +574,15 @@ func (db *DB) StaleStatsView() optimizer.StatsView {
 	}
 }
 
-func (s *Session) execSelect(sel *sqlparse.Select) (*Result, error) {
-	p, err := s.db.PlanSelect(sel)
+func (s *Session) execSelect(sel *sqlparse.Select, args []rel.Value) (*Result, error) {
+	rows, err := s.querySelect(sel, args)
 	if err != nil {
 		return nil, err
 	}
-	tx, done := s.begin(true)
-	ctx := &executor.Ctx{Mgr: s.db.mgr, Txn: tx, Cat: s.db.cat}
-	rows, execErr := executor.Run(p, ctx)
-	if err := done(execErr); err != nil {
-		return nil, err
-	}
-	return &Result{Columns: p.Schema().Names(), Rows: rows}, nil
+	return rows.drain()
 }
 
-func (s *Session) execUpdate(up *sqlparse.Update) (*Result, error) {
+func (s *Session) execUpdate(up *sqlparse.Update, args []rel.Value) (*Result, error) {
 	tbl, err := s.db.cat.Get(up.Table)
 	if err != nil {
 		return nil, err
@@ -508,6 +591,7 @@ func (s *Session) execUpdate(up *sqlparse.Update) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	where = rel.SubstParams(where, args)
 	set := make(map[int]rel.Expr, len(up.Set))
 	for name, e := range up.Set {
 		ci := tbl.Schema.ColIndex(name)
@@ -518,7 +602,7 @@ func (s *Session) execUpdate(up *sqlparse.Update) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		set[ci] = bound
+		set[ci] = rel.SubstParams(bound, args)
 	}
 	tx, done := s.begin(false)
 	ctx := &executor.Ctx{Mgr: s.db.mgr, Txn: tx, Cat: s.db.cat}
@@ -529,7 +613,7 @@ func (s *Session) execUpdate(up *sqlparse.Update) (*Result, error) {
 	return &Result{Affected: n, Message: fmt.Sprintf("UPDATE %d", n)}, nil
 }
 
-func (s *Session) execDelete(del *sqlparse.Delete) (*Result, error) {
+func (s *Session) execDelete(del *sqlparse.Delete, args []rel.Value) (*Result, error) {
 	tbl, err := s.db.cat.Get(del.Table)
 	if err != nil {
 		return nil, err
@@ -538,6 +622,7 @@ func (s *Session) execDelete(del *sqlparse.Delete) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	where = rel.SubstParams(where, args)
 	tx, done := s.begin(false)
 	ctx := &executor.Ctx{Mgr: s.db.mgr, Txn: tx, Cat: s.db.cat}
 	n, execErr := executor.DeleteWhere(ctx, tbl, where)
@@ -613,6 +698,8 @@ func (s *Session) execAnalyze(a *sqlparse.Analyze) (*Result, error) {
 		s.db.mu.Unlock()
 	}
 	s.db.mgr.Abort(tx)
+	// Fresh statistics change plan choice: invalidate cached plans.
+	s.db.cat.BumpVersion()
 	return &Result{Message: fmt.Sprintf("ANALYZE %d tables", len(tables))}, nil
 }
 
@@ -647,7 +734,7 @@ func (s *Session) execSet(st *sqlparse.SetStmt) (*Result, error) {
 	}
 }
 
-func (s *Session) execPredict(pr *sqlparse.Predict) (*Result, error) {
+func (s *Session) execPredict(pr *sqlparse.Predict, args []rel.Value) (*Result, error) {
 	tbl, err := s.db.cat.Get(pr.Table)
 	if err != nil {
 		return nil, err
@@ -682,15 +769,24 @@ func (s *Session) execPredict(pr *sqlparse.Predict) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	trainFilter = rel.SubstParams(trainFilter, args)
 	predictFilter, err := bindTableExpr(tbl, pr.Where)
 	if err != nil {
 		return nil, err
 	}
+	predictFilter = rel.SubstParams(predictFilter, args)
 	var inline []rel.Row
-	for _, exprRow := range pr.Values {
+	for ri, exprRow := range pr.Values {
+		// Inline rows are positional over the feature columns; verify the
+		// arity here, where the statement context is known, instead of
+		// failing (or silently misaligning) deep in the featurizer.
+		if len(exprRow) != len(featureIdxs) {
+			return nil, fmt.Errorf("neurdb: PREDICT VALUES row %d has %d values for %d feature columns",
+				ri+1, len(exprRow), len(featureIdxs))
+		}
 		row := make(rel.Row, len(exprRow))
 		for i, e := range exprRow {
-			v, err := evalConstExpr(e)
+			v, err := evalConstExpr(e, args)
 			if err != nil {
 				return nil, err
 			}

@@ -40,6 +40,8 @@ func main() {
 		}
 		sb.WriteByte(')')
 	}
+	// One multi-VALUES INSERT rides the page-batched insert path: one
+	// transaction-manager call plus per-batch index/stats maintenance.
 	if _, err := db.Exec(sb.String()); err != nil {
 		log.Fatal(err)
 	}
@@ -47,12 +49,29 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Streaming sanity check over the loaded cohort with a parameter bound
+	// at execution time.
+	rows, err := db.Query(`SELECT COUNT(*), AVG(f0) FROM diabetes WHERE outcome = ?`, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for rows.Next() {
+		var n int64
+		var avg float64
+		if err := rows.Scan(&n, &avg); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("positive outcomes: %d (avg f0 %.3f)\n", n, avg)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	rows.Close()
+
 	// Classify two new patients inline (Listing 2 shape).
 	patient1 := gen.Batch(1)[0][:workload.DiabetesFields]
 	patient2 := gen.Batch(1)[0][:workload.DiabetesFields]
 	values := func(row []string) string { return "(" + strings.Join(row, ", ") + ")" }
-	toStrs := func(row interface{ String() string }) string { return row.String() }
-	_ = toStrs
 	var v1, v2 []string
 	for _, v := range patient1 {
 		v1 = append(v1, v.String())

@@ -1,5 +1,6 @@
-// Quickstart: open a database, run DDL/DML/queries, and execute the
-// paper's PREDICT extension end to end.
+// Quickstart: open a database, run DDL/DML/queries through the prepared,
+// parameterized, streaming client API, and execute the paper's PREDICT
+// extension end to end.
 package main
 
 import (
@@ -12,8 +13,8 @@ import (
 func main() {
 	db := neurdb.Open(neurdb.DefaultConfig())
 
-	must := func(sql string) *neurdb.Result {
-		res, err := db.Exec(sql)
+	must := func(sql string, args ...any) *neurdb.Result {
+		res, err := db.Exec(sql, args...)
 		if err != nil {
 			log.Fatalf("%s: %v", sql, err)
 		}
@@ -22,28 +23,68 @@ func main() {
 
 	// Plain SQL.
 	must(`CREATE TABLE review (id INT PRIMARY KEY, brand_name TEXT, stars INT, helpful INT, score DOUBLE)`)
+
+	// A prepared INSERT parses, binds, and plans once; every Exec after that
+	// only binds arguments. Re-executions ride the page-batched insert path.
+	ins, err := db.Prepare(`INSERT INTO review VALUES (?, ?, ?, ?, ?)`)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for i := 0; i < 500; i++ {
 		stars := i % 5
 		helpful := (i * 7) % 20
 		score := float64(stars)*0.8 + float64(helpful)*0.05
-		must(fmt.Sprintf(`INSERT INTO review VALUES (%d, 'brand%d', %d, %d, %f)`,
-			i, i%10, stars, helpful, score))
+		if _, err := ins.Exec(i, fmt.Sprintf("brand%d", i%10), stars, helpful, score); err != nil {
+			log.Fatal(err)
+		}
 	}
-	// A few rows with missing scores for the brand we care about.
+	// A few rows with missing scores for the brand we care about; NULL
+	// passes through as a nil argument.
 	for i := 500; i < 505; i++ {
-		must(fmt.Sprintf(`INSERT INTO review VALUES (%d, 'Special Goods', %d, %d, NULL)`,
-			i, i%5, (i*3)%20))
+		if _, err := ins.Exec(i, "Special Goods", i%5, (i*3)%20, nil); err != nil {
+			log.Fatal(err)
+		}
 	}
 	must(`ANALYZE review`)
 
-	res := must(`SELECT brand_name, COUNT(*), AVG(score) FROM review GROUP BY brand_name LIMIT 3`)
-	fmt.Println("group-by sample:")
-	for _, row := range res.Rows {
-		fmt.Printf("  %s\n", row)
+	// Streaming query: rows arrive one executor batch at a time; Scan
+	// converts column values into Go variables.
+	rows, err := db.Query(`SELECT brand_name, COUNT(*), AVG(score) FROM review GROUP BY brand_name LIMIT 3`)
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Println("group-by sample:")
+	for rows.Next() {
+		var brand string
+		var count int64
+		var avg float64
+		if err := rows.Scan(&brand, &count, &avg); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s: %d reviews, avg score %.2f\n", brand, count, avg)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	rows.Close()
 
-	// EXPLAIN shows the physical plan.
-	res = must(`EXPLAIN SELECT score FROM review WHERE id = 42`)
+	// A prepared point SELECT hits the shared plan cache on every execution.
+	point, err := db.Prepare(`SELECT score FROM review WHERE id = ?`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, id := range []int{7, 42, 99} {
+		res, err := point.Exec(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("score(id=%d) = %s\n", id, res.Rows[0][0])
+	}
+	hits, misses := db.PlanCacheStats()
+	fmt.Printf("plan cache: %d hits, %d misses\n", hits, misses)
+
+	// EXPLAIN shows the physical plan (parameter probes keep index scans).
+	res := must(`EXPLAIN SELECT score FROM review WHERE id = 42`)
 	fmt.Println("plan:")
 	for _, row := range res.Rows {
 		fmt.Printf("  %s\n", row[0].S)

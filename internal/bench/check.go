@@ -16,11 +16,12 @@ import (
 // from either side are skipped, so the gate only constrains what a given CI
 // invocation actually ran.
 type Expectations struct {
-	Fig6a  *Fig6aExpectations  `json:"fig6a,omitempty"`
-	Fig6c  *Fig6cExpectations  `json:"fig6c,omitempty"`
-	Fig7a  *Fig7aExpectations  `json:"fig7a,omitempty"`
-	Fig7b  *Fig7bExpectations  `json:"fig7b,omitempty"`
-	Table1 *Table1Expectations `json:"table1,omitempty"`
+	Fig6a    *Fig6aExpectations    `json:"fig6a,omitempty"`
+	Fig6c    *Fig6cExpectations    `json:"fig6c,omitempty"`
+	Fig7a    *Fig7aExpectations    `json:"fig7a,omitempty"`
+	Fig7b    *Fig7bExpectations    `json:"fig7b,omitempty"`
+	Table1   *Table1Expectations   `json:"table1,omitempty"`
+	Prepared *PreparedExpectations `json:"prepared,omitempty"`
 }
 
 // Fig6aExpectations gates the end-to-end AI-analytics comparison.
@@ -59,6 +60,16 @@ type Table1Expectations struct {
 	MaxFinalLoss float64 `json:"max_final_loss"`
 	// MinRows is the floor on returned prediction rows per statement.
 	MinRows int `json:"min_rows"`
+}
+
+// PreparedExpectations gates the prepared-statement throughput comparison.
+type PreparedExpectations struct {
+	// MinSpeedup is the floor on reparse/prepared ns-per-op (prepared
+	// re-execution must stay measurably faster than parse-per-call Exec).
+	MinSpeedup float64 `json:"min_speedup"`
+	// MinCacheHitRate is the floor on the plan-cache hit rate during the
+	// prepared run (a collapse means invalidation churn or a broken cache).
+	MinCacheHitRate float64 `json:"min_cache_hit_rate"`
 }
 
 // LoadExpectations reads an expectations file.
@@ -122,6 +133,16 @@ func (e *Expectations) Check(results map[string]any) []string {
 		if res, ok := results["fig7b"].(*Fig7bResult); ok {
 			if res.PostDriftRatio < e.Fig7b.MinPostDriftRatio {
 				fail("fig7b: post-drift ratio %.3f below floor %.3f", res.PostDriftRatio, e.Fig7b.MinPostDriftRatio)
+			}
+		}
+	}
+	if e.Prepared != nil {
+		if res, ok := results["prepared"].(*PreparedResult); ok {
+			if res.Speedup < e.Prepared.MinSpeedup {
+				fail("prepared: speedup %.3f below floor %.3f", res.Speedup, e.Prepared.MinSpeedup)
+			}
+			if e.Prepared.MinCacheHitRate > 0 && res.CacheHitRate < e.Prepared.MinCacheHitRate {
+				fail("prepared: plan-cache hit rate %.3f below floor %.3f", res.CacheHitRate, e.Prepared.MinCacheHitRate)
 			}
 		}
 	}

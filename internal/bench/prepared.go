@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"neurdb"
+)
+
+// PreparedResult compares prepared re-execution of a point SELECT (plan
+// compiled once, cached, parameters bound per call) against the
+// parse-per-call Exec path over the same statement shape. This is the
+// client-surface counterpart of the paper's repeated-query emphasis: with
+// persistent connections issuing the same statements at high rate, plan
+// cost must be paid once, not per call.
+type PreparedResult struct {
+	Rows  int // table size
+	Iters int // executions per mode
+
+	PreparedNsPerOp float64
+	ReparseNsPerOp  float64
+	// Speedup is reparse/prepared (>1 means prepared is faster).
+	Speedup float64
+	// CacheHitRate is plan-cache hits/(hits+misses) over the prepared run.
+	CacheHitRate float64
+}
+
+// RunPrepared loads a keyed table and measures prepared-vs-reparse
+// throughput on an indexed point SELECT.
+func RunPrepared(sc Scale) (*PreparedResult, error) {
+	db := neurdb.Open(neurdb.DefaultConfig())
+	if _, err := db.Exec(`CREATE TABLE kv (id INT PRIMARY KEY, grp INT, val DOUBLE)`); err != nil {
+		return nil, err
+	}
+	// Bulk-load via multi-VALUES INSERT (page-batched insert path).
+	const chunk = 512
+	for base := 0; base < sc.PreparedRows; base += chunk {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO kv VALUES ")
+		for i := base; i < base+chunk && i < sc.PreparedRows; i++ {
+			if i > base {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "(%d,%d,%g)", i, i%97, float64(i)*0.5)
+		}
+		if _, err := db.Exec(sb.String()); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := db.Exec(`ANALYZE kv`); err != nil {
+		return nil, err
+	}
+
+	// Reparse path: every call re-lexes, re-parses, re-binds, re-plans.
+	reparse := func(i int) error {
+		res, err := db.Exec(fmt.Sprintf(`SELECT val FROM kv WHERE id = %d`, i%sc.PreparedRows))
+		if err != nil {
+			return err
+		}
+		if len(res.Rows) != 1 {
+			return fmt.Errorf("bench: point select returned %d rows", len(res.Rows))
+		}
+		return nil
+	}
+	// Prepared path: plan compiled once, cached; per call only binds the
+	// parameter and executes.
+	stmt, err := db.Prepare(`SELECT val FROM kv WHERE id = ?`)
+	if err != nil {
+		return nil, err
+	}
+	prepared := func(i int) error {
+		res, err := stmt.Exec(i % sc.PreparedRows)
+		if err != nil {
+			return err
+		}
+		if len(res.Rows) != 1 {
+			return fmt.Errorf("bench: prepared point select returned %d rows", len(res.Rows))
+		}
+		return nil
+	}
+
+	measure := func(f func(int) error) (float64, error) {
+		// Warmup settles the plan cache and branch state.
+		for i := 0; i < sc.PreparedIters/10+1; i++ {
+			if err := f(i); err != nil {
+				return 0, err
+			}
+		}
+		start := time.Now()
+		for i := 0; i < sc.PreparedIters; i++ {
+			if err := f(i); err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(sc.PreparedIters), nil
+	}
+
+	res := &PreparedResult{Rows: sc.PreparedRows, Iters: sc.PreparedIters}
+	if res.ReparseNsPerOp, err = measure(reparse); err != nil {
+		return nil, err
+	}
+	h0, m0 := db.PlanCacheStats()
+	if res.PreparedNsPerOp, err = measure(prepared); err != nil {
+		return nil, err
+	}
+	h1, m1 := db.PlanCacheStats()
+	if lookups := (h1 - h0) + (m1 - m0); lookups > 0 {
+		res.CacheHitRate = float64(h1-h0) / float64(lookups)
+	}
+	if res.PreparedNsPerOp > 0 {
+		res.Speedup = res.ReparseNsPerOp / res.PreparedNsPerOp
+	}
+	return res, nil
+}
+
+// RenderPrepared prints the comparison.
+func RenderPrepared(r *PreparedResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "prepared-statement throughput (point SELECT over %d rows, %d iters)\n", r.Rows, r.Iters)
+	fmt.Fprintf(&sb, "  %-22s %12s %14s\n", "path", "ns/op", "ops/sec")
+	fmt.Fprintf(&sb, "  %-22s %12.0f %14.0f\n", "Exec (reparse)", r.ReparseNsPerOp, 1e9/r.ReparseNsPerOp)
+	fmt.Fprintf(&sb, "  %-22s %12.0f %14.0f\n", "Stmt.Exec (cached)", r.PreparedNsPerOp, 1e9/r.PreparedNsPerOp)
+	fmt.Fprintf(&sb, "  speedup %.2fx, plan-cache hit rate %.3f\n", r.Speedup, r.CacheHitRate)
+	return sb.String()
+}

@@ -33,6 +33,12 @@ type Scale struct {
 	// Fig7bIntervals is the number of throughput samples per phase.
 	Fig7bIntervals int
 
+	// --- Prepared-statement throughput (client API) ---
+	// PreparedRows is the keyed-table size for the point-SELECT comparison.
+	PreparedRows int
+	// PreparedIters is the per-path execution count.
+	PreparedIters int
+
 	// --- Fig 8 (learned QO) ---
 	// StatsScale multiplies the STATS table sizes (1 ≈ 36k rows total).
 	StatsScale int
@@ -56,6 +62,9 @@ func DefaultScale() Scale {
 		Fig7bPhase:     1500 * time.Millisecond,
 		Fig7bIntervals: 6,
 
+		PreparedRows:  20_000,
+		PreparedIters: 3_000,
+
 		StatsScale:    1,
 		QORepeats:     2,
 		QOTrainPasses: 60,
@@ -75,6 +84,9 @@ func FullScale() Scale {
 		CCDuration:     5 * time.Second,
 		Fig7bPhase:     30 * time.Second,
 		Fig7bIntervals: 15,
+
+		PreparedRows:  200_000,
+		PreparedIters: 30_000,
 
 		StatsScale:    4,
 		QORepeats:     3,

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"neurdb/internal/index"
 	"neurdb/internal/rel"
@@ -98,11 +99,23 @@ func (t *Table) AddIndex(ix *Index) {
 
 // Catalog is the table registry.
 type Catalog struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
-	nextID int
-	Pool   *storage.BufferPool
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	nextID  int
+	Pool    *storage.BufferPool
+	version atomic.Uint64
 }
+
+// Version returns the schema-change counter. It ticks on every CREATE/DROP
+// TABLE and on every explicit BumpVersion (index creation, ANALYZE), so
+// cached plans key their validity on it: a plan compiled at version v is
+// stale once Version() != v.
+func (c *Catalog) Version() uint64 { return c.version.Load() }
+
+// BumpVersion invalidates plans cached against the current version. DDL
+// that does not go through Create/Drop (CREATE INDEX) and statistics
+// refreshes (ANALYZE) call it so prepared statements replan.
+func (c *Catalog) BumpVersion() { c.version.Add(1) }
 
 // New creates a catalog backed by the given buffer pool (may be nil).
 func New(pool *storage.BufferPool) *Catalog {
@@ -126,6 +139,7 @@ func (c *Catalog) Create(name string, schema *rel.Schema) (*Table, error) {
 		Stats:  stats.NewTableStats(schema.Arity()),
 	}
 	c.tables[key] = t
+	c.version.Add(1)
 	return t, nil
 }
 
@@ -149,6 +163,7 @@ func (c *Catalog) Drop(name string) error {
 		return fmt.Errorf("catalog: table %q does not exist", name)
 	}
 	delete(c.tables, key)
+	c.version.Add(1)
 	return nil
 }
 

@@ -148,6 +148,14 @@ func RunPredict(ctx *Ctx, eng *aiengine.Engine, task PredictTask) (*PredictResul
 	if len(task.FeatureIdxs) == 0 {
 		return nil, fmt.Errorf("executor: predict with no feature columns")
 	}
+	// Inline rows are positional over FeatureIdxs; a short or long row would
+	// misalign every feature after the mismatch, so reject it up front.
+	for i, row := range task.InlineRows {
+		if len(row) != len(task.FeatureIdxs) {
+			return nil, fmt.Errorf("executor: inline predict row %d has %d values for %d feature columns",
+				i+1, len(row), len(task.FeatureIdxs))
+		}
+	}
 
 	// 1. Training data: rows with a non-null target passing the WITH filter.
 	all := ScanAll(ctx, task.Table)
@@ -185,14 +193,12 @@ func RunPredict(ctx *Ctx, eng *aiengine.Engine, task PredictTask) (*PredictResul
 		}
 		return x, y
 	}
-	// Inline VALUES rows are already in feature order.
+	// Inline VALUES rows are already in feature order (arity checked above).
 	featurizeInline := func(rows []rel.Row) *nn.Matrix {
 		x := nn.NewMatrix(len(rows), fields)
 		for i, row := range rows {
 			for f := range task.FeatureIdxs {
-				if f < len(row) {
-					x.Set(i, f, float64(f*task.BucketsPerField+codecs[f].encode(row[f])))
-				}
+				x.Set(i, f, float64(f*task.BucketsPerField+codecs[f].encode(row[f])))
 			}
 		}
 		return x

@@ -48,7 +48,10 @@ func BuildBatch(n plan.Node, ctx *Ctx) (BatchIter, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &projectBatch{exprs: t.Exprs, child: c, in: rel.NewBatch(BatchSize)}, nil
+		// Scratch batches start empty and grow toward BatchSize on demand,
+		// so short results (prepared point lookups) skip the full-size
+		// allocation per execution.
+		return &projectBatch{exprs: t.Exprs, child: c, in: rel.NewBatch(0)}, nil
 	case *plan.HashJoin:
 		l, err := BuildBatch(t.L, ctx)
 		if err != nil {
@@ -58,7 +61,7 @@ func BuildBatch(n plan.Node, ctx *Ctx) (BatchIter, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &hashJoinBatch{node: t, left: l, right: r, in: rel.NewBatch(BatchSize)}, nil
+		return &hashJoinBatch{node: t, left: l, right: r, in: rel.NewBatch(0)}, nil
 	case *plan.Agg:
 		c, err := BuildBatch(t.Child, ctx)
 		if err != nil {

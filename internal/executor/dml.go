@@ -30,6 +30,36 @@ func InsertRow(ctx *Ctx, t *catalog.Table, row rel.Row) (storage.RowID, error) {
 	return id, nil
 }
 
+// InsertBatch inserts rows into a table within the context transaction with
+// one transaction-manager call for the whole batch, per-batch index
+// maintenance, and a single statistics note — the insert-side counterpart of
+// the page-batched UpdateWhere/DeleteWhere path. Every row is validated up
+// front, so a constraint violation inserts nothing. It returns the assigned
+// RowIDs in row order.
+func InsertBatch(ctx *Ctx, t *catalog.Table, rows []rel.Row) ([]storage.RowID, error) {
+	for _, row := range rows {
+		if len(row) != t.Schema.Arity() {
+			return nil, fmt.Errorf("executor: insert arity %d into %s%s", len(row), t.Name, t.Schema)
+		}
+		for i, col := range t.Schema.Cols {
+			if col.NotNull && row[i].IsNull() {
+				return nil, fmt.Errorf("executor: null value in NOT NULL column %s.%s", t.Name, col.Name)
+			}
+		}
+	}
+	ids, err := ctx.Mgr.InsertBatch(t.Heap, rows, ctx.Txn)
+	if err != nil {
+		return nil, err
+	}
+	for _, ix := range t.Indexes() {
+		for i, row := range rows {
+			ix.Insert(row[ix.Col], ids[i])
+		}
+	}
+	t.Stats.NoteInsertBatch(rows)
+	return ids, nil
+}
+
 // dmlScan drives the shared page-batched DML loop: each heap page is read
 // through Manager.ReadPageVisible (one visibility call per page), filtered
 // by the predicate, and handed to apply as aligned id/row slices. apply runs

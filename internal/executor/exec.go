@@ -191,6 +191,9 @@ type indexScanIter struct {
 
 // indexScanIDs materializes the posting list an index scan will visit.
 func indexScanIDs(n *plan.IndexScan) ([]storage.RowID, error) {
+	if n.EqArg != 0 || n.LoArg != 0 || n.HiArg != 0 {
+		return nil, fmt.Errorf("executor: index scan on %q has unbound parameters (apply plan.BindParams first)", n.Index.Name)
+	}
 	switch {
 	case n.Eq != nil:
 		return n.Index.Lookup(*n.Eq), nil

@@ -232,6 +232,8 @@ func (q *Query) bindExpr(e sqlparse.Expr) (rel.Expr, error) {
 		return &rel.ColRef{Idx: idx, Name: q.Global.Cols[idx].Name}, nil
 	case *sqlparse.Lit:
 		return &rel.Const{Val: t.Val}, nil
+	case *sqlparse.Param:
+		return &rel.Param{Idx: t.Idx}, nil
 	case *sqlparse.Binary:
 		l, err := q.bindExpr(t.L)
 		if err != nil {

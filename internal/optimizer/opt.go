@@ -155,31 +155,53 @@ func (o *Optimizer) bestAccessPath(q *Query, ti int) subPlan {
 				continue
 			}
 			ix := t.IndexOn(col)
-			if ix == nil || (eq == nil && !ix.Ordered()) {
+			if ix == nil || (!eq.set() && !ix.Ordered()) {
 				continue
 			}
 			var matchSel float64
-			if eq != nil {
-				matchSel = ts.SelectivityEq(col, eq.AsFloat())
-			} else {
-				loF, hiF := math.Inf(-1), math.Inf(1)
-				if lo != nil {
-					loF = lo.AsFloat()
+			switch {
+			case eq.Val != nil:
+				matchSel = ts.SelectivityEq(col, eq.Val.AsFloat())
+			case eq.Arg != 0:
+				// Parameterized probe: the value is unknown until
+				// execution, so assume a uniform equality match over the
+				// column's distinct values (a generic plan), with the same
+				// no-statistics fallback SelectivityEq uses.
+				if d := ts.Col(col).Distinct; d > 0 {
+					matchSel = 1 / float64(d)
+				} else {
+					matchSel = 0.1
 				}
-				if hi != nil {
-					hiF = hi.AsFloat()
+			case lo.Arg != 0 || hi.Arg != 0:
+				matchSel = 0.33 // generic range estimate
+			default:
+				loF, hiF := math.Inf(-1), math.Inf(1)
+				if lo.Val != nil {
+					loF = lo.Val.AsFloat()
+				}
+				if hi.Val != nil {
+					hiF = hi.Val.AsFloat()
 				}
 				matchSel = ts.SelectivityRange(col, loF, hiF)
 			}
 			matched := math.Max(rows*matchSel, 0.5)
 			cost := math.Log2(rows+2)*cpuOpCost + matched*(randPageCost*0.25+cpuTupleCost)
 			if cost < bestCost {
-				residual := make([]rel.Expr, 0, len(conjs)-1)
+				residual := make([]rel.Expr, 0, len(conjs))
 				residual = append(residual, conjs[:ci]...)
 				residual = append(residual, conjs[ci+1:]...)
+				// Row estimate: matchSel already accounts for the probed
+				// conjunct, so resSel covers only the others.
 				resSel := 1.0
 				for _, c := range residual {
 					resSel *= selOf(ts, c)
+				}
+				if lo.Strict || hi.Strict {
+					// Inclusive probe of a strict bound: re-check the
+					// original conjunct so the boundary key is excluded
+					// (a boundary-only filter; selectivity ~1, already
+					// counted in matchSel).
+					residual = append(residual, conj)
 				}
 				bestCost = cost
 				bestNode = &plan.IndexScan{
@@ -188,7 +210,9 @@ func (o *Optimizer) bestAccessPath(q *Query, ti int) subPlan {
 						EstRows: math.Max(matched*resSel, 0.5),
 						EstCost: cost,
 					},
-					Table: t, Index: ix, Eq: eq, Lo: lo, Hi: hi,
+					Table: t, Index: ix,
+					Eq: eq.Val, Lo: lo.Val, Hi: hi.Val,
+					EqArg: eq.Arg, LoArg: lo.Arg, HiArg: hi.Arg,
 					Filter: rel.CombineConjuncts(residual),
 				}
 			}
@@ -198,23 +222,36 @@ func (o *Optimizer) bestAccessPath(q *Query, ti int) subPlan {
 	return subPlan{node: bestNode, layout: []int{ti}, rows: r, cost: c}
 }
 
-// indexableConjunct recognizes "col op const" patterns usable by an index.
-func indexableConjunct(e rel.Expr) (col int, eq, lo, hi *rel.Value, ok bool) {
+// indexBound is one probe bound of an indexable conjunct: either a literal
+// value known at plan time or a query parameter resolved at execution time
+// (Arg is the 1-based parameter ordinal; 0 means Val is set).
+type indexBound struct {
+	Val *rel.Value
+	Arg int
+	// Strict marks a '<'/'>' bound: the index probe itself is inclusive,
+	// so the original conjunct must stay in the residual filter.
+	Strict bool
+}
+
+// indexableConjunct recognizes "col op const" and "col op param" patterns
+// usable by an index. Parameter bounds let prepared statements keep their
+// index scans across executions (the PostgreSQL generic-plan shape); the
+// concrete probe value is filled in by plan.BindParams.
+func indexableConjunct(e rel.Expr) (col int, eq, lo, hi indexBound, ok bool) {
 	b, isBin := e.(*rel.BinOp)
 	if !isBin {
-		return 0, nil, nil, nil, false
+		return 0, eq, lo, hi, false
 	}
 	cr, crOK := b.L.(*rel.ColRef)
-	cn, cnOK := b.R.(*rel.Const)
+	rhs := b.R
 	kind := b.Kind
-	if !crOK || !cnOK {
-		// try reversed: const op col
-		cn2, c2ok := b.L.(*rel.Const)
+	if !crOK {
+		// try reversed: const/param op col
 		cr2, r2ok := b.R.(*rel.ColRef)
-		if !c2ok || !r2ok {
-			return 0, nil, nil, nil, false
+		if !r2ok {
+			return 0, eq, lo, hi, false
 		}
-		cr, cn = cr2, cn2
+		cr, rhs = cr2, b.L
 		switch kind {
 		case rel.OpLt:
 			kind = rel.OpGt
@@ -226,18 +263,34 @@ func indexableConjunct(e rel.Expr) (col int, eq, lo, hi *rel.Value, ok bool) {
 			kind = rel.OpLe
 		}
 	}
-	v := cn.Val
+	var bound indexBound
+	switch t := rhs.(type) {
+	case *rel.Const:
+		v := t.Val
+		bound.Val = &v
+	case *rel.Param:
+		bound.Arg = t.Idx + 1
+	default:
+		return 0, eq, lo, hi, false
+	}
+	// Strict bounds ('<', '>') are probed inclusively by the B-tree range
+	// scan, so the caller must keep the original conjunct as a filter.
 	switch kind {
 	case rel.OpEq:
-		return cr.Idx, &v, nil, nil, true
+		return cr.Idx, bound, lo, hi, true
 	case rel.OpLt, rel.OpLe:
-		return cr.Idx, nil, nil, &v, true
+		bound.Strict = kind == rel.OpLt
+		return cr.Idx, eq, lo, bound, true
 	case rel.OpGt, rel.OpGe:
-		return cr.Idx, nil, &v, nil, true
+		bound.Strict = kind == rel.OpGt
+		return cr.Idx, eq, bound, hi, true
 	default:
-		return 0, nil, nil, nil, false
+		return 0, eq, lo, hi, false
 	}
 }
+
+// set reports whether the bound is present (value or parameter).
+func (b indexBound) set() bool { return b.Val != nil || b.Arg != 0 }
 
 // selOf estimates the selectivity of a bound single-table conjunct.
 func selOf(ts *stats.TableStats, e rel.Expr) float64 {

@@ -63,7 +63,13 @@ type IndexScan struct {
 	Index  *catalog.Index
 	Eq     *rel.Value // equality probe (nil for range)
 	Lo, Hi *rel.Value // range bounds (either may be nil)
-	Filter rel.Expr   // residual filter; may be nil
+	// EqArg/LoArg/HiArg are 1-based parameter ordinals for probe bounds
+	// supplied at execution time (0 = that bound is not a parameter), so a
+	// prepared point lookup keeps its index scan across executions.
+	// BindParams resolves them into Eq/Lo/Hi on the per-execution copy; the
+	// executor rejects plans where they are still unresolved.
+	EqArg, LoArg, HiArg int
+	Filter              rel.Expr // residual filter; may be nil
 }
 
 // Children implements Node.
@@ -73,11 +79,21 @@ func (*IndexScan) Children() []Node { return nil }
 func (s *IndexScan) Label() string {
 	var cond string
 	col := s.Table.Schema.Col(s.Index.Col).Name
+	bound := func(v *rel.Value, arg int) string {
+		switch {
+		case v != nil:
+			return v.String()
+		case arg != 0:
+			return fmt.Sprintf("$%d", arg)
+		default:
+			return "<nil>"
+		}
+	}
 	switch {
-	case s.Eq != nil:
-		cond = fmt.Sprintf("%s=%s", col, s.Eq)
+	case s.Eq != nil || s.EqArg != 0:
+		cond = fmt.Sprintf("%s=%s", col, bound(s.Eq, s.EqArg))
 	default:
-		cond = fmt.Sprintf("%s in [%v,%v]", col, s.Lo, s.Hi)
+		cond = fmt.Sprintf("%s in [%s,%s]", col, bound(s.Lo, s.LoArg), bound(s.Hi, s.HiArg))
 	}
 	return fmt.Sprintf("IndexScan(%s, %s)", s.Table.Name, cond)
 }

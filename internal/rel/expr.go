@@ -99,6 +99,71 @@ func (c *Const) String() string {
 	return c.Val.String()
 }
 
+// Param is a query-parameter placeholder in a bound expression. Plans keep
+// Params in their expression trees so a prepared statement can be planned
+// once and executed many times; SubstParams (and plan.BindParams above it)
+// replace every Param with the call's argument value before execution.
+// Eval on an unsubstituted Param yields NULL — executors must only ever see
+// substituted trees.
+type Param struct {
+	Idx int // zero-based parameter ordinal
+}
+
+// Eval implements Expr. Params are substituted before execution; an
+// unbound one evaluates to NULL rather than panicking.
+func (p *Param) Eval(Row) Value { return Null() }
+
+// String implements Expr using the $n spelling.
+func (p *Param) String() string { return fmt.Sprintf("$%d", p.Idx+1) }
+
+// HasParams reports whether the expression tree references any parameter.
+func HasParams(e Expr) bool {
+	switch t := e.(type) {
+	case nil:
+		return false
+	case *Param:
+		return true
+	case *BinOp:
+		return HasParams(t.L) || HasParams(t.R)
+	case *Not:
+		return HasParams(t.E)
+	case *IsNullExpr:
+		return HasParams(t.E)
+	case *InList:
+		return HasParams(t.E)
+	default:
+		return false
+	}
+}
+
+// SubstParams returns the expression with every Param replaced by the
+// corresponding argument value as a Const. Expressions without parameters
+// are returned unchanged (no copy), so shared cached plans stay untouched.
+// Out-of-range ordinals substitute NULL; callers validate argument counts
+// up front.
+func SubstParams(e Expr, args []Value) Expr {
+	if e == nil || !HasParams(e) {
+		return e
+	}
+	switch t := e.(type) {
+	case *Param:
+		if t.Idx >= 0 && t.Idx < len(args) {
+			return &Const{Val: args[t.Idx]}
+		}
+		return &Const{Val: Null()}
+	case *BinOp:
+		return &BinOp{Kind: t.Kind, L: SubstParams(t.L, args), R: SubstParams(t.R, args)}
+	case *Not:
+		return &Not{E: SubstParams(t.E, args)}
+	case *IsNullExpr:
+		return &IsNullExpr{E: SubstParams(t.E, args), Negate: t.Negate}
+	case *InList:
+		return &InList{E: SubstParams(t.E, args), List: t.List}
+	default:
+		return e
+	}
+}
+
 // BinOp applies a binary operator to two sub-expressions.
 type BinOp struct {
 	Kind BinOpKind

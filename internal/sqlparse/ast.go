@@ -75,6 +75,96 @@ type FuncCall struct {
 
 func (*FuncCall) expr() {}
 
+// Param is a query-parameter placeholder ('?' or '$n'), bound to a concrete
+// value at execution time. Idx is the zero-based parameter ordinal: '?'
+// placeholders number themselves left to right, '$n' maps to ordinal n-1.
+type Param struct {
+	Idx int
+}
+
+func (*Param) expr() {}
+
+// walkExpr visits e and every sub-expression pre-order.
+func walkExpr(e Expr, f func(Expr)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	switch t := e.(type) {
+	case *Binary:
+		walkExpr(t.L, f)
+		walkExpr(t.R, f)
+	case *Unary:
+		walkExpr(t.E, f)
+	case *IsNull:
+		walkExpr(t.E, f)
+	case *InList:
+		walkExpr(t.E, f)
+	case *FuncCall:
+		for _, a := range t.Args {
+			walkExpr(a, f)
+		}
+	}
+}
+
+// WalkExprs calls f on every expression appearing in the statement,
+// including sub-expressions. It is the traversal ParamCount and other
+// whole-statement analyses build on.
+func WalkExprs(s Stmt, f func(Expr)) {
+	switch t := s.(type) {
+	case *Select:
+		for _, it := range t.Items {
+			walkExpr(it.E, f)
+		}
+		for _, j := range t.Joins {
+			walkExpr(j.On, f)
+		}
+		walkExpr(t.Where, f)
+		for _, g := range t.GroupBy {
+			walkExpr(g, f)
+		}
+		for _, o := range t.OrderBy {
+			walkExpr(o.E, f)
+		}
+	case *Insert:
+		for _, row := range t.Rows {
+			for _, e := range row {
+				walkExpr(e, f)
+			}
+		}
+	case *Update:
+		for _, col := range t.Cols {
+			walkExpr(t.Set[col], f)
+		}
+		walkExpr(t.Where, f)
+	case *Delete:
+		walkExpr(t.Where, f)
+	case *Predict:
+		walkExpr(t.Where, f)
+		walkExpr(t.With, f)
+		for _, row := range t.Values {
+			for _, e := range row {
+				walkExpr(e, f)
+			}
+		}
+	case *Explain:
+		WalkExprs(t.Inner, f)
+	}
+}
+
+// ParamCount returns the number of parameter slots the statement needs:
+// one past the highest parameter ordinal referenced (0 when the statement
+// has no placeholders).
+func ParamCount(s Stmt) int {
+	n := 0
+	WalkExprs(s, func(e Expr) {
+		if p, ok := e.(*Param); ok && p.Idx+1 > n {
+			n = p.Idx + 1
+		}
+	})
+	return n
+}
+
 // ColumnDef is one column in CREATE TABLE.
 type ColumnDef struct {
 	Name    string

@@ -20,6 +20,7 @@ const (
 	TokNumber
 	TokString
 	TokPunct // operators and punctuation, e.g. ( ) , = <> <= >= + - * / %
+	TokParam // query parameter placeholder: '?' (Text empty) or '$n' (Text = n)
 )
 
 // Token is a lexical token with position information for error messages.
@@ -98,6 +99,19 @@ func (l *Lexer) Next() (Token, error) {
 			l.pos++
 		}
 		return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+	case c == '?':
+		l.pos++
+		return Token{Kind: TokParam, Pos: start}, nil
+	case c == '$':
+		l.pos++
+		digits := l.pos
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.pos == digits {
+			return Token{}, fmt.Errorf("sql: expected parameter number after '$' at offset %d", start)
+		}
+		return Token{Kind: TokParam, Text: l.src[digits:l.pos], Pos: start}, nil
 	default:
 		// multi-char operators first
 		for _, op := range []string{"<>", "<=", ">=", "!=", "=="} {

@@ -10,8 +10,10 @@ import (
 
 // Parser is a recursive-descent SQL parser.
 type Parser struct {
-	toks []Token
-	pos  int
+	toks      []Token
+	pos       int
+	qmarks    int  // '?' placeholders seen so far (they number left to right)
+	sawDollar bool // '$n' placeholder seen (styles must not mix)
 }
 
 // Parse parses a single SQL statement (an optional trailing semicolon is
@@ -31,6 +33,38 @@ func Parse(src string) (Stmt, error) {
 		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().Text)
 	}
 	return stmt, nil
+}
+
+// SplitScript splits a semicolon-separated script into individual statement
+// strings using the lexer, so semicolons inside string literals or comments
+// never split a statement. Empty segments are dropped. Callers that want to
+// execute statements one at a time (e.g. a streaming shell) use this and
+// feed each piece to Query/Exec.
+func SplitScript(src string) ([]string, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	start := -1 // byte offset of the current statement's first token
+	for _, t := range toks {
+		switch {
+		case t.Kind == TokPunct && t.Text == ";":
+			if start >= 0 {
+				out = append(out, src[start:t.Pos])
+				start = -1
+			}
+		case t.Kind == TokEOF:
+			if start >= 0 {
+				out = append(out, src[start:t.Pos])
+			}
+		default:
+			if start < 0 {
+				start = t.Pos
+			}
+		}
+	}
+	return out, nil
 }
 
 // ParseScript parses a semicolon-separated list of statements.
@@ -101,6 +135,9 @@ func (p *Parser) ident() (string, error) {
 }
 
 func (p *Parser) parseStmt() (Stmt, error) {
+	// Placeholder numbering and style tracking are per statement (the
+	// parser is reused across a script).
+	p.qmarks, p.sawDollar = 0, false
 	t := p.peek()
 	switch {
 	case t.keyword("CREATE"):
@@ -819,6 +856,25 @@ func (p *Parser) parseUnary() (Expr, error) {
 func (p *Parser) parsePrimary() (Expr, error) {
 	t := p.peek()
 	switch t.Kind {
+	case TokParam:
+		p.next()
+		if t.Text == "" { // '?': positional, numbered left to right
+			if p.sawDollar {
+				return nil, fmt.Errorf("sql: cannot mix '?' and '$n' placeholders (offset %d)", t.Pos)
+			}
+			idx := p.qmarks
+			p.qmarks++
+			return &Param{Idx: idx}, nil
+		}
+		if p.qmarks > 0 {
+			return nil, fmt.Errorf("sql: cannot mix '?' and '$n' placeholders (offset %d)", t.Pos)
+		}
+		p.sawDollar = true
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("sql: bad parameter number $%s at offset %d", t.Text, t.Pos)
+		}
+		return &Param{Idx: n - 1}, nil
 	case TokNumber:
 		v, err := p.parseLiteral()
 		if err != nil {

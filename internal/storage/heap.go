@@ -87,6 +87,41 @@ func (h *Heap) Insert(row rel.Row, xmin uint64) RowID {
 	return id
 }
 
+// InsertBatch appends new version chains for all rows under one lock
+// acquisition, appending the assigned RowIDs to ids and the created chain
+// heads to heads (aligned). The buffer pool is touched once per distinct
+// page written instead of once per row, so bulk loads and multi-VALUES
+// INSERT pay page-granular accounting like the batch read path.
+func (h *Heap) InsertBatch(rows []rel.Row, xmin uint64, ids []RowID, heads []*Version) ([]RowID, []*Version) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	lastTouched := uint32(math.MaxUint32)
+	for _, row := range rows {
+		v := NewVersion(row, xmin, nil)
+		h.live++
+		var id RowID
+		if n := len(h.free); n > 0 {
+			id = h.free[n-1]
+			h.free = h.free[:n-1]
+			h.pages[id.Page].chains[id.Slot] = v
+		} else {
+			if len(h.pages) == 0 || len(h.pages[len(h.pages)-1].chains) >= RowsPerPage {
+				h.pages = append(h.pages, &page{id: uint32(len(h.pages))})
+			}
+			p := h.pages[len(h.pages)-1]
+			p.chains = append(p.chains, v)
+			id = RowID{Page: p.id, Slot: uint32(len(p.chains) - 1)}
+		}
+		if id.Page != lastTouched {
+			h.touch(id.Page, true)
+			lastTouched = id.Page
+		}
+		ids = append(ids, id)
+		heads = append(heads, v)
+	}
+	return ids, heads
+}
+
 // Head returns the newest version at id, or nil.
 func (h *Heap) Head(id RowID) *Version {
 	h.mu.RLock()

@@ -343,6 +343,29 @@ func (m *Manager) Insert(h *storage.Heap, row rel.Row, t *Txn) (storage.RowID, e
 	return id, nil
 }
 
+// InsertBatch adds rows as part of t with one heap lock acquisition and one
+// write-set append for the whole batch — the insert-side counterpart of
+// UpdateBatch/DeleteBatch for multi-VALUES INSERT and prepared-statement
+// bulk loads. It returns the assigned RowIDs in row order.
+func (m *Manager) InsertBatch(h *storage.Heap, rows []rel.Row, t *Txn) ([]storage.RowID, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	if t.Status() != StatusActive {
+		return nil, ErrTxnFinished
+	}
+	ids, heads := h.InsertBatch(rows, t.ID,
+		make([]storage.RowID, 0, len(rows)), make([]*storage.Version, 0, len(rows)))
+	recs := make([]writeRec, len(ids))
+	for i, id := range ids {
+		recs[i] = writeRec{heap: h, id: id, created: heads[i], kind: 'i'}
+	}
+	t.mu.Lock()
+	t.writes = append(t.writes, recs...)
+	t.mu.Unlock()
+	return ids, nil
+}
+
 // Update replaces the visible version of a row with newRow.
 func (m *Manager) Update(h *storage.Heap, id storage.RowID, newRow rel.Row, t *Txn) error {
 	return m.modify(h, id, newRow, t, 'u')

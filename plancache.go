@@ -1,0 +1,106 @@
+package neurdb
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"neurdb/internal/plan"
+)
+
+// DefaultPlanCacheSize bounds the shared plan cache (entries).
+const DefaultPlanCacheSize = 256
+
+// planCache is a size-bounded LRU of compiled SELECT plans shared by every
+// session's prepared statements. Entries are keyed by (optimizer mode, SQL
+// text) and stamped with the catalog version they were planned under; a
+// lookup whose stamp no longer matches the live version counts as a miss
+// and is evicted, so DDL and ANALYZE (which bump the version) invalidate
+// stale plans without scanning the cache.
+type planCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	lru     list.List // front = most recently used
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// planEntry is one cached plan. Entries are immutable after creation, so
+// statements may hold onto one and revalidate it with a lock-free catalog
+// version (and mode) compare instead of re-entering the cache.
+type planEntry struct {
+	key       string
+	mode      OptimizerMode
+	node      plan.Node
+	columns   []string
+	hasParams bool // plan contains parameter references needing BindParams
+	catVer    uint64
+}
+
+func newPlanCache(max int) *planCache {
+	if max <= 0 {
+		max = DefaultPlanCacheSize
+	}
+	return &planCache{max: max, entries: make(map[string]*list.Element)}
+}
+
+// planKey builds the cache key: plans depend on the optimizer mode as well
+// as the statement text.
+func planKey(mode OptimizerMode, sql string) string {
+	return string(mode) + "\x00" + sql
+}
+
+// get returns the cached entry for key if it was planned at catVer,
+// counting a hit; otherwise it counts a miss (evicting a stale entry).
+func (c *planCache) get(key string, catVer uint64) (*planEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if ok {
+		e := el.Value.(*planEntry)
+		if e.catVer == catVer {
+			c.lru.MoveToFront(el)
+			c.hits.Add(1)
+			return e, true
+		}
+		c.lru.Remove(el)
+		delete(c.entries, key)
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// put installs (or replaces) an entry, evicting the least recently used
+// entry when the cache is full.
+func (c *planCache) put(e *planEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[e.key]; ok {
+		el.Value = e
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[e.key] = c.lru.PushFront(e)
+	for len(c.entries) > c.max {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			break
+		}
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*planEntry).key)
+	}
+}
+
+// stats returns the cumulative hit/miss counters.
+func (c *planCache) stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// len returns the current entry count.
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

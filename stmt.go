@@ -1,0 +1,157 @@
+package neurdb
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"neurdb/internal/plan"
+	"neurdb/internal/rel"
+	"neurdb/internal/sqlparse"
+)
+
+// Stmt is a prepared statement: lexed, parsed, and — for SELECT — bound and
+// planned once, then executed many times with per-call parameter values
+// ('?' or '$n' placeholders). SELECT plans live in the DB-wide plan cache,
+// keyed by statement text and optimizer mode and invalidated by catalog
+// version (DDL and ANALYZE bump it), so re-execution pays only parameter
+// binding and execution. A Stmt is safe for concurrent use.
+type Stmt struct {
+	s       *Session
+	sql     string
+	ast     sqlparse.Stmt
+	sel     *sqlparse.Select // non-nil when the statement is a SELECT
+	nParams int
+	closed  atomic.Bool
+	// entry is the statement-local view of the cached plan, revalidated on
+	// every execution against the catalog version and optimizer mode
+	// without taking the shared cache's lock.
+	entry atomic.Pointer[planEntry]
+}
+
+// Prepare parses and (for SELECT) plans a statement on the implicit
+// session.
+func (db *DB) Prepare(sql string) (*Stmt, error) { return db.session.Prepare(sql) }
+
+// Prepare parses and (for SELECT) plans a statement for this session. The
+// compiled plan is shared through the DB plan cache, so preparing the same
+// text on many sessions plans it once per catalog version.
+func (s *Session) Prepare(sql string) (*Stmt, error) {
+	ast, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	st := &Stmt{s: s, sql: sql, ast: ast, nParams: sqlparse.ParamCount(ast)}
+	if sel, ok := ast.(*sqlparse.Select); ok {
+		st.sel = sel
+		e, err := s.db.cachedPlan(sql, sel)
+		if err != nil {
+			return nil, err
+		}
+		st.entry.Store(e)
+	}
+	return st, nil
+}
+
+// NumParams returns the number of parameters the statement takes.
+func (st *Stmt) NumParams() int { return st.nParams }
+
+// Query executes the statement with the given arguments and returns a
+// streaming cursor (see Rows). Non-SELECT statements execute eagerly and
+// come back as a materialized cursor carrying Message/Affected.
+func (st *Stmt) Query(args ...any) (*Rows, error) {
+	vals, err := st.bind(args)
+	if err != nil {
+		return nil, err
+	}
+	if st.sel != nil {
+		e, err := st.plan()
+		if err != nil {
+			return nil, err
+		}
+		return st.s.streamPlan(e.node, e.columns, e.hasParams, vals)
+	}
+	return st.s.queryStmt(st.ast, vals)
+}
+
+// plan returns the compiled plan for the SELECT. The fast path revalidates
+// the statement-local entry with a lock-free catalog-version and mode
+// compare (counting a cache hit), so concurrent prepared executions do not
+// serialize on the shared cache's mutex; invalidation falls back to the
+// shared cache, which replans as needed.
+func (st *Stmt) plan() (*planEntry, error) {
+	db := st.s.db
+	if e := st.entry.Load(); e != nil && e.catVer == db.cat.Version() && e.mode == db.OptimizerModeNow() {
+		db.plans.hits.Add(1)
+		return e, nil
+	}
+	e, err := db.cachedPlan(st.sql, st.sel)
+	if err != nil {
+		return nil, err
+	}
+	st.entry.Store(e)
+	return e, nil
+}
+
+// Exec executes the statement with the given arguments and materializes the
+// outcome, draining the cursor for SELECTs.
+func (st *Stmt) Exec(args ...any) (*Result, error) {
+	if st.sel != nil {
+		rows, err := st.Query(args...)
+		if err != nil {
+			return nil, err
+		}
+		return rows.drain()
+	}
+	vals, err := st.bind(args)
+	if err != nil {
+		return nil, err
+	}
+	return st.s.execStmt(st.ast, vals)
+}
+
+// bind validates the closed flag and converts arguments.
+func (st *Stmt) bind(args []any) ([]rel.Value, error) {
+	if st.closed.Load() {
+		return nil, fmt.Errorf("neurdb: statement is closed")
+	}
+	return convertArgs(st.nParams, args)
+}
+
+// Close marks the statement unusable. The cached plan stays in the shared
+// cache for other statements with the same text.
+func (st *Stmt) Close() error {
+	st.closed.Store(true)
+	return nil
+}
+
+// cachedPlan returns the compiled plan for a SELECT, planning and caching
+// it on miss or when DDL/ANALYZE invalidated the cached entry. Shared-cache
+// lookups feed the monitor ("plancache.hit" series); PlanCacheStats counts
+// those plus the statements' lock-free local revalidations.
+func (db *DB) cachedPlan(sql string, sel *sqlparse.Select) (*planEntry, error) {
+	mode := db.OptimizerModeNow()
+	ver := db.cat.Version()
+	key := planKey(mode, sql)
+	if e, ok := db.plans.get(key, ver); ok {
+		db.tracker.Observe("plancache.hit", 1)
+		return e, nil
+	}
+	db.tracker.Observe("plancache.hit", 0)
+	p, err := db.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	e := &planEntry{
+		key:       key,
+		mode:      mode,
+		node:      p,
+		columns:   p.Schema().Names(),
+		hasParams: plan.HasParams(p),
+		catVer:    ver,
+	}
+	db.plans.put(e)
+	return e, nil
+}
+
+// PlanCacheStats returns the cumulative plan-cache hit/miss counters.
+func (db *DB) PlanCacheStats() (hits, misses uint64) { return db.plans.stats() }
