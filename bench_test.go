@@ -29,6 +29,9 @@ func benchScale() bench.Scale {
 		PreparedRows:  10_000,
 		PreparedIters: 1_000,
 
+		ParallelRows:  60_000,
+		ParallelIters: 3,
+
 		StatsScale:    1,
 		QORepeats:     2,
 		QOTrainPasses: 40,
@@ -46,6 +49,20 @@ func BenchmarkPreparedVsReparse(b *testing.B) {
 		b.ReportMetric(res.Speedup, "speedup")
 		b.ReportMetric(res.PreparedNsPerOp, "prepared-ns/op")
 		b.ReportMetric(res.ReparseNsPerOp, "reparse-ns/op")
+	}
+}
+
+// BenchmarkParallelScaling measures morsel-driven intra-query scaling
+// (1/2/4 workers) through the SQL surface; the 4-worker speedups are the
+// headline metrics the bench-multicore CI job gates at paper scale.
+func BenchmarkParallelScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunParallel(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ScanAggSpeedup4, "scanagg-speedup4")
+		b.ReportMetric(res.JoinSpeedup4, "join-speedup4")
 	}
 }
 

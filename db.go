@@ -32,6 +32,8 @@ package neurdb
 
 import (
 	"fmt"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -74,6 +76,11 @@ type Config struct {
 	Optimizer OptimizerMode
 	// Seed drives all model initialization for reproducibility.
 	Seed int64
+	// Workers caps intra-query parallelism: morsel-driven operators fan out
+	// to at most this many goroutines per query. 0 (the default) resolves
+	// to GOMAXPROCS at query time; 1 forces serial execution. Sessions can
+	// override it (Session.SetWorkers, SET workers = n).
+	Workers int
 }
 
 // DefaultConfig returns a sensible configuration.
@@ -174,6 +181,18 @@ func (db *DB) SetOptimizerMode(m OptimizerMode) {
 	db.mu.Unlock()
 }
 
+// SetWorkers changes the database-wide intra-query parallelism cap at
+// runtime (0 = GOMAXPROCS at query time, 1 = serial). Sessions that called
+// Session.SetWorkers keep their override.
+func (db *DB) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	db.mu.Lock()
+	db.cfg.Workers = n
+	db.mu.Unlock()
+}
+
 // OptimizerModeNow returns the active mode.
 func (db *DB) OptimizerModeNow() OptimizerMode {
 	db.mu.Lock()
@@ -228,13 +247,43 @@ func (db *DB) ExecScript(sql string) (*Result, error) {
 
 // Session is a connection-like context holding an optional open transaction.
 type Session struct {
-	db  *DB
-	mu  sync.Mutex
-	txn *txn.Txn
+	db      *DB
+	mu      sync.Mutex
+	txn     *txn.Txn
+	workers int // per-session parallelism override; 0 = inherit DB config
 }
 
 // NewSession creates an independent session.
 func (db *DB) NewSession() *Session { return &Session{db: db} }
+
+// SetWorkers overrides the intra-query parallelism cap for this session
+// (0 = inherit the DB configuration, 1 = serial). SET workers = n is the
+// SQL form.
+func (s *Session) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.mu.Lock()
+	s.workers = n
+	s.mu.Unlock()
+}
+
+// effectiveWorkers resolves the parallelism cap for one execution: session
+// override, then DB config, then GOMAXPROCS.
+func (s *Session) effectiveWorkers() int {
+	s.mu.Lock()
+	w := s.workers
+	s.mu.Unlock()
+	if w == 0 {
+		s.db.mu.Lock()
+		w = s.db.cfg.Workers
+		s.db.mu.Unlock()
+	}
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return w
+}
 
 // Exec parses and executes one statement in this session, materializing the
 // full result. Optional args bind '?' or '$n' placeholders.
@@ -296,7 +345,7 @@ func (s *Session) streamPlan(p plan.Node, cols []string, hasParams bool, args []
 		p = plan.BindParams(p, args)
 	}
 	tx, done := s.begin(true)
-	ctx := &executor.Ctx{Mgr: s.db.mgr, Txn: tx, Cat: s.db.cat}
+	ctx := &executor.Ctx{Mgr: s.db.mgr, Txn: tx, Cat: s.db.cat, Workers: s.effectiveWorkers()}
 	it, err := executor.BuildBatch(p, ctx)
 	if err != nil {
 		return nil, done(err)
@@ -468,6 +517,7 @@ func (s *Session) execInsert(ins *sqlparse.Insert, args []rel.Value) (*Result, e
 	if err := done(execErr); err != nil {
 		return nil, err
 	}
+	s.observeDirty()
 	return &Result{Affected: len(rows), Message: fmt.Sprintf("INSERT %d", len(rows))}, nil
 }
 
@@ -610,6 +660,7 @@ func (s *Session) execUpdate(up *sqlparse.Update, args []rel.Value) (*Result, er
 	if err := done(execErr); err != nil {
 		return nil, err
 	}
+	s.observeDirty()
 	return &Result{Affected: n, Message: fmt.Sprintf("UPDATE %d", n)}, nil
 }
 
@@ -629,7 +680,15 @@ func (s *Session) execDelete(del *sqlparse.Delete, args []rel.Value) (*Result, e
 	if err := done(execErr); err != nil {
 		return nil, err
 	}
+	s.observeDirty()
 	return &Result{Affected: n, Message: fmt.Sprintf("DELETE %d", n)}, nil
+}
+
+// observeDirty feeds the buffer pool's dirty-page count to the monitor
+// after a write statement — the "pool.dirty" series the checkpoint/flush
+// drift detectors watch.
+func (s *Session) observeDirty() {
+	s.db.tracker.Observe("pool.dirty", float64(s.db.pool.DirtyPages()))
 }
 
 // bindTableExpr binds a parsed expression against a single table's schema
@@ -729,6 +788,13 @@ func (s *Session) execSet(st *sqlparse.SetStmt) (*Result, error) {
 			return &Result{Message: "SET optimizer"}, nil
 		}
 		return nil, fmt.Errorf("neurdb: unknown optimizer mode %q", st.Value)
+	case "workers":
+		n, err := strconv.Atoi(st.Value)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("neurdb: SET workers wants a non-negative integer, got %q", st.Value)
+		}
+		s.SetWorkers(n)
+		return &Result{Message: "SET workers"}, nil
 	default:
 		return nil, fmt.Errorf("neurdb: unknown setting %q", st.Key)
 	}
@@ -806,7 +872,7 @@ func (s *Session) execPredict(pr *sqlparse.Predict, args []rel.Value) (*Result, 
 		ModelName:      tbl.Name + "." + strings.ToLower(pr.Target),
 	}
 	tx := s.db.mgr.Begin(txn.Snapshot, true)
-	ctx := &executor.Ctx{Mgr: s.db.mgr, Txn: tx, Cat: s.db.cat}
+	ctx := &executor.Ctx{Mgr: s.db.mgr, Txn: tx, Cat: s.db.cat, Workers: s.effectiveWorkers()}
 	res, err := executor.RunPredict(ctx, s.db.engine, task)
 	s.db.mgr.Abort(tx)
 	if err != nil {

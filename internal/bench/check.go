@@ -22,6 +22,7 @@ type Expectations struct {
 	Fig7b    *Fig7bExpectations    `json:"fig7b,omitempty"`
 	Table1   *Table1Expectations   `json:"table1,omitempty"`
 	Prepared *PreparedExpectations `json:"prepared,omitempty"`
+	Parallel *ParallelExpectations `json:"parallel,omitempty"`
 }
 
 // Fig6aExpectations gates the end-to-end AI-analytics comparison.
@@ -70,6 +71,19 @@ type PreparedExpectations struct {
 	// MinCacheHitRate is the floor on the plan-cache hit rate during the
 	// prepared run (a collapse means invalidation churn or a broken cache).
 	MinCacheHitRate float64 `json:"min_cache_hit_rate"`
+}
+
+// ParallelExpectations gates morsel-driven intra-query scaling. The floors
+// only apply when the measured host actually had >= 4 procs (GOMAXPROCS):
+// on a 1-core runner 4 workers time-slice one core and no speedup exists to
+// gate.
+type ParallelExpectations struct {
+	// MinScanAggSpeedup4 is the floor on t(1 worker)/t(4 workers) for the
+	// full-table scan+filter+aggregate pipeline.
+	MinScanAggSpeedup4 float64 `json:"min_scanagg_speedup4"`
+	// MinJoinSpeedup4 is the floor for the hash-join pipeline (0 = not
+	// gated).
+	MinJoinSpeedup4 float64 `json:"min_join_speedup4"`
 }
 
 // LoadExpectations reads an expectations file.
@@ -143,6 +157,20 @@ func (e *Expectations) Check(results map[string]any) []string {
 			}
 			if e.Prepared.MinCacheHitRate > 0 && res.CacheHitRate < e.Prepared.MinCacheHitRate {
 				fail("prepared: plan-cache hit rate %.3f below floor %.3f", res.CacheHitRate, e.Prepared.MinCacheHitRate)
+			}
+		}
+	}
+	if e.Parallel != nil {
+		// On hosts with < 4 procs, 4 workers time-slice and no speedup
+		// exists to gate: record, don't fail.
+		if res, ok := results["parallel"].(*ParallelResult); ok && res.MaxProcs >= 4 {
+			if e.Parallel.MinScanAggSpeedup4 > 0 && res.ScanAggSpeedup4 < e.Parallel.MinScanAggSpeedup4 {
+				fail("parallel: scan+agg speedup at 4 workers %.3f below floor %.3f",
+					res.ScanAggSpeedup4, e.Parallel.MinScanAggSpeedup4)
+			}
+			if e.Parallel.MinJoinSpeedup4 > 0 && res.JoinSpeedup4 < e.Parallel.MinJoinSpeedup4 {
+				fail("parallel: join speedup at 4 workers %.3f below floor %.3f",
+					res.JoinSpeedup4, e.Parallel.MinJoinSpeedup4)
 			}
 		}
 	}

@@ -35,3 +35,23 @@ func TestExpectationsCheck(t *testing.T) {
 		t.Fatalf("missing experiments must be skipped, got %v", v)
 	}
 }
+
+// TestParallelExpectationsGate: the scaling floor applies only when the
+// measuring host had >= 4 procs; under that, results are recorded but never
+// violations.
+func TestParallelExpectationsGate(t *testing.T) {
+	exp := &Expectations{Parallel: &ParallelExpectations{MinScanAggSpeedup4: 1.6, MinJoinSpeedup4: 1.2}}
+
+	slow := map[string]any{"parallel": &ParallelResult{MaxProcs: 4, ScanAggSpeedup4: 1.1, JoinSpeedup4: 1.0}}
+	if v := exp.Check(slow); len(v) != 2 {
+		t.Fatalf("expected 2 violations on a 4-proc host below both floors, got %v", v)
+	}
+	fast := map[string]any{"parallel": &ParallelResult{MaxProcs: 4, ScanAggSpeedup4: 2.4, JoinSpeedup4: 1.9}}
+	if v := exp.Check(fast); len(v) != 0 {
+		t.Fatalf("expected pass, got %v", v)
+	}
+	onecore := map[string]any{"parallel": &ParallelResult{MaxProcs: 1, ScanAggSpeedup4: 0.9, JoinSpeedup4: 0.9}}
+	if v := exp.Check(onecore); len(v) != 0 {
+		t.Fatalf("sub-4-proc host must not gate, got %v", v)
+	}
+}

@@ -39,6 +39,13 @@ type Scale struct {
 	// PreparedIters is the per-path execution count.
 	PreparedIters int
 
+	// --- Morsel-driven parallel scaling ---
+	// ParallelRows is the big-table size for the worker-scaling runs (must
+	// span many morsels: 16-page morsels hold 2048 rows each).
+	ParallelRows int
+	// ParallelIters is the per-worker-count execution count.
+	ParallelIters int
+
 	// --- Fig 8 (learned QO) ---
 	// StatsScale multiplies the STATS table sizes (1 ≈ 36k rows total).
 	StatsScale int
@@ -65,6 +72,9 @@ func DefaultScale() Scale {
 		PreparedRows:  20_000,
 		PreparedIters: 3_000,
 
+		ParallelRows:  150_000,
+		ParallelIters: 8,
+
 		StatsScale:    1,
 		QORepeats:     2,
 		QOTrainPasses: 60,
@@ -87,6 +97,9 @@ func FullScale() Scale {
 
 		PreparedRows:  200_000,
 		PreparedIters: 30_000,
+
+		ParallelRows:  1_000_000,
+		ParallelIters: 20,
 
 		StatsScale:    4,
 		QORepeats:     3,

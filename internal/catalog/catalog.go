@@ -52,6 +52,18 @@ func (ix *Index) Lookup(key rel.Value) []storage.RowID {
 	return ix.Hash.Lookup(key)
 }
 
+// LookupBatch probes every key under one index-lock acquisition, appending
+// the postings to ids (flattened) and the per-key end offset to offs, so
+// ids[offs[k-1]:offs[k]] are key k's postings (offs[-1] reads as the initial
+// len(ids)). The batched index joins use it to pay one lock and zero
+// per-probe allocations per outer batch instead of per outer row.
+func (ix *Index) LookupBatch(keys []rel.Value, ids []storage.RowID, offs []int) ([]storage.RowID, []int) {
+	if ix.BT != nil {
+		return ix.BT.LookupBatch(keys, ids, offs)
+	}
+	return ix.Hash.LookupBatch(keys, ids, offs)
+}
+
 // Table bundles everything the engine knows about one relation.
 type Table struct {
 	ID      int

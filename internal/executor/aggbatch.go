@@ -1,28 +1,39 @@
 package executor
 
 import (
+	"sort"
+
 	"neurdb/internal/plan"
 	"neurdb/internal/rel"
 )
 
-// aggBatch is the vectorized aggregation operator: a grouped hash table
-// keyed on the encoded group-by columns, with columnar accumulator arrays
-// (one flat slice per accumulator kind, indexed slot*nAgg+item) instead of
-// a per-group state object. The aggregate argument expressions are
-// precompiled so plain column references skip interface dispatch, numeric
-// min/max comparisons run on cached float mirrors instead of rel.Compare,
-// the group-key buffer is reused across rows, and the hash table is probed
-// with an allocation-free string conversion — steady-state accumulation
-// allocates only when a new group appears.
-type aggBatch struct {
-	node  *plan.Agg
-	child BatchIter
+// aggAcc is a grouped-aggregation workspace: a hash table keyed on the
+// encoded group-by columns with columnar accumulator arrays (one flat slice
+// per accumulator kind, indexed slot*nAgg+item) instead of per-group state
+// objects. The aggregate argument expressions are precompiled so plain
+// column references skip interface dispatch, numeric min/max comparisons run
+// on cached float mirrors instead of rel.Compare, the group-key buffer is
+// reused across rows, and the hash table is probed with an allocation-free
+// string conversion — steady-state accumulation allocates only when a new
+// group appears.
+//
+// The serial aggBatch operator owns one aggAcc; the morsel-parallel
+// aggregation gives each worker its own partial aggAcc and merges them with
+// mergeFrom. Every row carries a sequence number monotone in heap order, and
+// each slot remembers the smallest one it saw (firstSeen), so finalize can
+// emit groups in global first-seen order no matter how the input was split
+// across workers — the exact order the serial operator produces.
+type aggAcc struct {
+	node *plan.Agg
+	nAgg int
 
 	specs   []aggArgSpec // aggregate items only, precompiled
 	keyCols []int        // group-by column fast path (-1 = general expr)
 
-	slots  map[string]int // encoded group key -> slot
-	firsts []rel.Row      // first row seen per slot (key-expression source)
+	slots     map[string]int // encoded group key -> slot
+	keys      []string       // encoded key per slot (merge lookups)
+	firsts    []rel.Row      // first row seen per slot (key-expression source)
+	firstSeen []uint64       // smallest sequence number seen per slot
 	// Columnar accumulators, all indexed slot*nAgg + item.
 	cnts []int64 // non-null inputs (COUNT)
 	sums []float64
@@ -34,8 +45,6 @@ type aggBatch struct {
 	maxF []float64
 
 	keyBuf []byte
-	out    []rel.Row
-	pos    int
 }
 
 // aggArgSpec is one precompiled aggregate item.
@@ -75,14 +84,11 @@ func fastFloat(v rel.Value) float64 {
 	}
 }
 
-func (a *aggBatch) Open() error {
-	if err := a.child.Open(); err != nil {
-		return err
-	}
-	defer a.child.Close()
-	a.slots = make(map[string]int)
-	a.specs = a.specs[:0]
-	for i, item := range a.node.Items {
+// newAggAcc precompiles the aggregate items and group-by columns of node
+// into an empty accumulator.
+func newAggAcc(node *plan.Agg) *aggAcc {
+	a := &aggAcc{node: node, nAgg: len(node.Items), slots: make(map[string]int)}
+	for i, item := range node.Items {
 		if item.Agg == nil {
 			continue
 		}
@@ -92,32 +98,16 @@ func (a *aggBatch) Open() error {
 		}
 		a.specs = append(a.specs, sp)
 	}
-	a.keyCols = a.keyCols[:0]
-	for _, g := range a.node.GroupBy {
+	for _, g := range node.GroupBy {
 		a.keyCols = append(a.keyCols, colOf(g))
 	}
-	nAgg := len(a.node.Items)
-	in := rel.NewBatch(BatchSize)
-	for {
-		n, err := a.child.NextBatch(in)
-		if err != nil {
-			return err
-		}
-		if n == 0 {
-			break
-		}
-		for _, row := range in.Rows {
-			a.accumulate(a.slot(row, nAgg)*nAgg, row)
-		}
-	}
-	a.finalize(nAgg)
-	return nil
+	return a
 }
 
 // slot returns the accumulator slot for the row's group, creating it on
 // first sight. Group keys are the same self-delimiting encoding the scalar
 // engine uses, so NULLs and mixed types group identically on both paths.
-func (a *aggBatch) slot(row rel.Row, nAgg int) int {
+func (a *aggAcc) slot(row rel.Row, seq uint64) int {
 	a.keyBuf = a.keyBuf[:0]
 	for k, g := range a.node.GroupBy {
 		var v rel.Value
@@ -131,20 +121,26 @@ func (a *aggBatch) slot(row rel.Row, nAgg int) int {
 	if s, ok := a.slots[string(a.keyBuf)]; ok {
 		return s
 	}
+	key := string(a.keyBuf)
 	s := len(a.firsts)
-	a.slots[string(a.keyBuf)] = s
+	a.slots[key] = s
+	a.keys = append(a.keys, key)
 	a.firsts = append(a.firsts, row)
-	a.cnts = append(a.cnts, make([]int64, nAgg)...)
-	a.sums = append(a.sums, make([]float64, nAgg)...)
-	a.mins = append(a.mins, make([]rel.Value, nAgg)...)
-	a.maxs = append(a.maxs, make([]rel.Value, nAgg)...)
-	a.minF = append(a.minF, make([]float64, nAgg)...)
-	a.maxF = append(a.maxF, make([]float64, nAgg)...)
+	a.firstSeen = append(a.firstSeen, seq)
+	a.cnts = append(a.cnts, make([]int64, a.nAgg)...)
+	a.sums = append(a.sums, make([]float64, a.nAgg)...)
+	a.mins = append(a.mins, make([]rel.Value, a.nAgg)...)
+	a.maxs = append(a.maxs, make([]rel.Value, a.nAgg)...)
+	a.minF = append(a.minF, make([]float64, a.nAgg)...)
+	a.maxF = append(a.maxF, make([]float64, a.nAgg)...)
 	return s
 }
 
-// accumulate folds one row into the accumulators starting at base.
-func (a *aggBatch) accumulate(base int, row rel.Row) {
+// add folds one row into its group's accumulators. seq must be monotone in
+// the input's heap order (the serial operator uses a running counter; the
+// parallel workers derive it from the morsel ordinal).
+func (a *aggAcc) add(row rel.Row, seq uint64) {
+	base := a.slot(row, seq) * a.nAgg
 	for s := range a.specs {
 		sp := &a.specs[s]
 		j := base + sp.idx
@@ -188,20 +184,79 @@ func (a *aggBatch) accumulate(base int, row rel.Row) {
 	}
 }
 
-// finalize materializes one output row per group, in first-seen order. A
-// scalar aggregate (no GROUP BY) over empty input still yields one row.
-func (a *aggBatch) finalize(nAgg int) {
+// mergeFrom folds another partial accumulator (over a disjoint slice of the
+// input) into a. Counts and sums add, extremes compare, and each group keeps
+// the first row from whichever partial saw the group earliest in heap order.
+func (a *aggAcc) mergeFrom(src *aggAcc) {
+	nAgg := a.nAgg
+	for s, key := range src.keys {
+		d, ok := a.slots[key]
+		if !ok {
+			d = len(a.keys)
+			a.slots[key] = d
+			a.keys = append(a.keys, key)
+			a.firsts = append(a.firsts, src.firsts[s])
+			a.firstSeen = append(a.firstSeen, src.firstSeen[s])
+			a.cnts = append(a.cnts, src.cnts[s*nAgg:(s+1)*nAgg]...)
+			a.sums = append(a.sums, src.sums[s*nAgg:(s+1)*nAgg]...)
+			a.mins = append(a.mins, src.mins[s*nAgg:(s+1)*nAgg]...)
+			a.maxs = append(a.maxs, src.maxs[s*nAgg:(s+1)*nAgg]...)
+			a.minF = append(a.minF, src.minF[s*nAgg:(s+1)*nAgg]...)
+			a.maxF = append(a.maxF, src.maxF[s*nAgg:(s+1)*nAgg]...)
+			continue
+		}
+		if src.firstSeen[s] < a.firstSeen[d] {
+			a.firstSeen[d] = src.firstSeen[s]
+			a.firsts[d] = src.firsts[s]
+		}
+		for i := 0; i < nAgg; i++ {
+			sj, dj := s*nAgg+i, d*nAgg+i
+			if src.cnts[sj] == 0 {
+				continue
+			}
+			if a.cnts[dj] == 0 {
+				a.cnts[dj] = src.cnts[sj]
+				a.sums[dj] = src.sums[sj]
+				a.mins[dj], a.minF[dj] = src.mins[sj], src.minF[sj]
+				a.maxs[dj], a.maxF[dj] = src.maxs[sj], src.maxF[sj]
+				continue
+			}
+			a.cnts[dj] += src.cnts[sj]
+			a.sums[dj] += src.sums[sj]
+			if rel.Compare(src.mins[sj], a.mins[dj]) < 0 {
+				a.mins[dj], a.minF[dj] = src.mins[sj], src.minF[sj]
+			}
+			if rel.Compare(src.maxs[sj], a.maxs[dj]) > 0 {
+				a.maxs[dj], a.maxF[dj] = src.maxs[sj], src.maxF[sj]
+			}
+		}
+	}
+}
+
+// finalize materializes one output row per group in first-seen (heap) order.
+// A scalar aggregate (no GROUP BY) over empty input still yields one row.
+func (a *aggAcc) finalize() []rel.Row {
+	nAgg := a.nAgg
 	nGroups := len(a.firsts)
 	if nGroups == 0 && len(a.node.GroupBy) == 0 {
 		a.firsts = append(a.firsts, nil)
+		a.firstSeen = append(a.firstSeen, 0)
 		a.cnts = make([]int64, nAgg)
 		a.sums = make([]float64, nAgg)
 		a.mins = make([]rel.Value, nAgg)
 		a.maxs = make([]rel.Value, nAgg)
 		nGroups = 1
 	}
-	a.out = make([]rel.Row, 0, nGroups)
-	for slot := 0; slot < nGroups; slot++ {
+	order := make([]int, nGroups)
+	for i := range order {
+		order[i] = i
+	}
+	// Serial accumulation creates slots in first-seen order already (the
+	// sort is the identity); merged partials need the reorder. Sequence
+	// numbers are unique per row, so the order is total.
+	sort.Slice(order, func(i, j int) bool { return a.firstSeen[order[i]] < a.firstSeen[order[j]] })
+	out := make([]rel.Row, 0, nGroups)
+	for _, slot := range order {
 		base := slot * nAgg
 		row := make(rel.Row, nAgg)
 		for i, item := range a.node.Items {
@@ -243,8 +298,44 @@ func (a *aggBatch) finalize(nAgg int) {
 				}
 			}
 		}
-		a.out = append(a.out, row)
+		out = append(out, row)
 	}
+	return out
+}
+
+// aggBatch is the serial vectorized aggregation operator: one aggAcc fed
+// batch-at-a-time in Open, drained batch-at-a-time afterwards.
+type aggBatch struct {
+	node  *plan.Agg
+	child BatchIter
+
+	out []rel.Row
+	pos int
+}
+
+func (a *aggBatch) Open() error {
+	if err := a.child.Open(); err != nil {
+		return err
+	}
+	defer a.child.Close()
+	acc := newAggAcc(a.node)
+	in := rel.NewBatch(BatchSize)
+	seq := uint64(0)
+	for {
+		n, err := a.child.NextBatch(in)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			break
+		}
+		for _, row := range in.Rows {
+			acc.add(row, seq)
+			seq++
+		}
+	}
+	a.out = acc.finalize()
+	return nil
 }
 
 func (a *aggBatch) NextBatch(dst *rel.Batch) (int, error) {

@@ -157,17 +157,36 @@ func RunPredict(ctx *Ctx, eng *aiengine.Engine, task PredictTask) (*PredictResul
 		}
 	}
 
-	// 1. Training data: rows with a non-null target passing the WITH filter.
-	all := ScanAll(ctx, task.Table)
-	var trainRows []rel.Row
-	for _, row := range all {
-		if row[task.TargetIdx].IsNull() {
-			continue
+	// 1. Extraction: a single streaming pass over the table collects the
+	// training rows (non-null target passing the WITH filter) and — when
+	// there are no inline VALUES — the inference inputs, batch-at-a-time
+	// straight off the scan pipeline (morsel-parallel under ctx.Workers).
+	// Only the two filtered subsets are materialized; the full row slice
+	// never is (paper Fig. 6a: extraction cost bounds adaptive training).
+	var trainRows, inferRows []rel.Row
+	collectInfer := len(task.InlineRows) == 0
+	err := ScanBatches(ctx, task.Table, func(b *rel.Batch) error {
+		for _, row := range b.Rows {
+			if !row[task.TargetIdx].IsNull() &&
+				(task.TrainFilter == nil || task.TrainFilter.Eval(row).AsBool()) {
+				trainRows = append(trainRows, row)
+			}
+			if collectInfer {
+				match := false
+				if task.PredictFilter != nil {
+					match = task.PredictFilter.Eval(row).AsBool()
+				} else {
+					match = row[task.TargetIdx].IsNull()
+				}
+				if match {
+					inferRows = append(inferRows, row)
+				}
+			}
 		}
-		if task.TrainFilter != nil && !task.TrainFilter.Eval(row).AsBool() {
-			continue
-		}
-		trainRows = append(trainRows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if len(trainRows) == 0 {
 		return nil, fmt.Errorf("executor: predict has no training rows in %s", task.Table.Name)
@@ -219,11 +238,11 @@ func RunPredict(ctx *Ctx, eng *aiengine.Engine, task PredictTask) (*PredictResul
 			epochs = 40
 		}
 	}
-	shuffled := make([]rel.Row, len(trainRows))
-	copy(shuffled, trainRows)
 	res := &PredictResult{}
+	// trainRows is freshly collected above and not used for anything else,
+	// so the per-epoch reshuffle can permute it in place.
 	loader := aiengine.NewStreamingLoader(&chunkSource{
-		rows: shuffled, size: task.BatchSize, epochs: epochs,
+		rows: trainRows, size: task.BatchSize, epochs: epochs,
 		rng: rand.New(rand.NewSource(7)),
 	}, featurize, task.Window)
 	if view, ok := eng.Store.FindViewByName(task.ModelName); ok && task.ModelName != "" {
@@ -247,23 +266,13 @@ func RunPredict(ctx *Ctx, eng *aiengine.Engine, task PredictTask) (*PredictResul
 		res.MID, res.TS = out.MID, out.TS
 	}
 
-	// 2. Inference inputs.
+	// 2. Inference inputs (collected during the extraction pass).
 	var inferX *nn.Matrix
 	if len(task.InlineRows) > 0 {
 		res.Inputs = task.InlineRows
 		inferX = featurizeInline(task.InlineRows)
 	} else {
-		for _, row := range all {
-			match := false
-			if task.PredictFilter != nil {
-				match = task.PredictFilter.Eval(row).AsBool()
-			} else {
-				match = row[task.TargetIdx].IsNull()
-			}
-			if match {
-				res.Inputs = append(res.Inputs, row)
-			}
-		}
+		res.Inputs = inferRows
 		if len(res.Inputs) == 0 {
 			// Nothing to predict: the task degenerates to model training.
 			return res, nil

@@ -26,24 +26,34 @@ type BatchIter interface {
 	Close() error
 }
 
-// BuildBatch compiles a plan into a batch-iterator tree. Seq scans, index
-// scans, filters, projections, hash joins, aggregation, sort and limit
-// execute natively batch-at-a-time; only the nested-loop joins are built as
-// row iterators (whose own inputs are again batch-backed) and adapted via
-// NewBatchIter.
+// BuildBatch compiles a plan into a batch-iterator tree. Every operator
+// executes natively batch-at-a-time; when ctx.Workers > 1, subtrees that
+// form scan→filter→project pipelines over large-enough heaps run
+// morsel-parallel (see parallel.go), with per-plan serial fallbacks: small
+// tables stay serial, and a LIMIT directly over a streaming pipeline forces
+// its input serial because the short-circuit beats the fan-out.
 func BuildBatch(n plan.Node, ctx *Ctx) (BatchIter, error) {
 	switch t := n.(type) {
 	case *plan.SeqScan:
+		if it, ok := tryParallelScan(n, ctx); ok {
+			return it, nil
+		}
 		return &seqScanBatch{ctx: ctx, node: t}, nil
 	case *plan.IndexScan:
 		return &indexScanBatch{ctx: ctx, node: t}, nil
 	case *plan.Filter:
+		if it, ok := tryParallelScan(n, ctx); ok {
+			return it, nil
+		}
 		c, err := BuildBatch(t.Child, ctx)
 		if err != nil {
 			return nil, err
 		}
 		return &filterBatch{pred: t.Pred, child: c}, nil
 	case *plan.Project:
+		if it, ok := tryParallelScan(n, ctx); ok {
+			return it, nil
+		}
 		c, err := BuildBatch(t.Child, ctx)
 		if err != nil {
 			return nil, err
@@ -53,6 +63,8 @@ func BuildBatch(n plan.Node, ctx *Ctx) (BatchIter, error) {
 		// allocation per execution.
 		return &projectBatch{exprs: t.Exprs, child: c, in: rel.NewBatch(0)}, nil
 	case *plan.HashJoin:
+		return buildHashJoinBatch(t, ctx)
+	case *plan.NLJoin:
 		l, err := BuildBatch(t.L, ctx)
 		if err != nil {
 			return nil, err
@@ -61,21 +73,45 @@ func BuildBatch(n plan.Node, ctx *Ctx) (BatchIter, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &hashJoinBatch{node: t, left: l, right: r, in: rel.NewBatch(0)}, nil
+		return &nlJoinBatch{node: t, left: l, right: r, in: rel.NewBatch(0)}, nil
+	case *plan.IndexJoin:
+		l, err := BuildBatch(t.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &indexJoinBatch{ctx: ctx, node: t, left: l, in: rel.NewBatch(0)}, nil
 	case *plan.Agg:
+		if pipe, ok := extractPipeline(t.Child); ok {
+			if w := pipelineWorkers(ctx, pipe); w > 1 {
+				return &parallelAgg{ctx: ctx, node: t, pipe: pipe, workers: w}, nil
+			}
+		}
 		c, err := BuildBatch(t.Child, ctx)
 		if err != nil {
 			return nil, err
 		}
 		return &aggBatch{node: t, child: c}, nil
 	case *plan.Sort:
+		if pipe, ok := extractPipeline(t.Child); ok {
+			if w := pipelineWorkers(ctx, pipe); w > 1 {
+				return &parallelSort{ctx: ctx, keys: t.Keys, pipe: pipe, workers: w}, nil
+			}
+		}
 		c, err := BuildBatch(t.Child, ctx)
 		if err != nil {
 			return nil, err
 		}
 		return &sortBatch{keys: t.Keys, child: c}, nil
 	case *plan.Limit:
-		c, err := BuildBatch(t.Child, ctx)
+		cctx := ctx
+		if _, ok := extractPipeline(t.Child); ok {
+			// LIMIT directly over a streaming pipeline stops after N rows;
+			// a parallel scan would read far past them to re-sequence
+			// morsels. Blocking children (sort/agg/joins) consume their
+			// whole input regardless, so they keep their parallelism.
+			cctx = ctx.serialized()
+		}
+		c, err := BuildBatch(t.Child, cctx)
 		if err != nil {
 			return nil, err
 		}
@@ -89,11 +125,64 @@ func BuildBatch(n plan.Node, ctx *Ctx) (BatchIter, error) {
 	}
 }
 
+// buildHashJoinBatch picks the hash-join shape: parallel probe when the
+// probe (left) side is a large-enough pipeline, parallel build when the
+// build (right) side is, serial batch join otherwise — each side degrades
+// independently.
+func buildHashJoinBatch(t *plan.HashJoin, ctx *Ctx) (BatchIter, error) {
+	var probePipe, buildPipe *scanPipeline
+	pw, bw := 0, 0
+	if p, ok := extractPipeline(t.L); ok {
+		if w := pipelineWorkers(ctx, p); w > 1 {
+			probePipe, pw = p, w
+		}
+	}
+	if p, ok := extractPipeline(t.R); ok {
+		if w := pipelineWorkers(ctx, p); w > 1 {
+			buildPipe, bw = p, w
+		}
+	}
+	if pw > 1 {
+		jp := &joinProbe{node: t}
+		probePipe.stages = append(probePipe.stages, pipeStage{probe: jp})
+		j := &parallelHashJoin{
+			parallelScan: parallelScan{ctx: ctx, pipe: probePipe, workers: pw},
+			probe:        jp,
+		}
+		if bw > 1 {
+			j.buildPipe, j.buildWorkers = buildPipe, bw
+		} else {
+			r, err := BuildBatch(t.R, ctx)
+			if err != nil {
+				return nil, err
+			}
+			j.right = r
+		}
+		return j, nil
+	}
+	l, err := BuildBatch(t.L, ctx)
+	if err != nil {
+		return nil, err
+	}
+	j := &hashJoinBatch{node: t, left: l, in: rel.NewBatch(0)}
+	if bw > 1 {
+		j.ctx, j.buildPipe, j.buildWorkers = ctx, buildPipe, bw
+	} else {
+		r, err := BuildBatch(t.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		j.right = r
+	}
+	return j, nil
+}
+
 // --- adapters ---
 
-// rowIter adapts a BatchIter to the scalar Iter interface, letting the
-// remaining row-at-a-time operators (the nested-loop joins) and row-oriented
-// callers consume batch-producing subtrees unchanged.
+// rowIter adapts a BatchIter to the scalar Iter interface, letting
+// row-oriented callers consume batch-producing subtrees unchanged. Since
+// PR 4 no relational operator needs it — every plan node has a native batch
+// implementation.
 type rowIter struct {
 	b    BatchIter
 	buf  *rel.Batch
@@ -302,7 +391,10 @@ func (p *projectBatch) Close() error { return p.child.Close() }
 // hashJoinBatch is the batched equi-join: Open drains the build (right)
 // side batch-at-a-time into the hash table, then each probe batch from the
 // left produces its joined rows in one pass. Joined rows overflowing the
-// output batch are carried in pending across calls.
+// output batch are carried in pending across calls. When the planner found
+// the build side morsel-parallelizable but not the probe side, buildPipe is
+// set and Open builds the table with a worker pool instead of draining
+// right.
 type hashJoinBatch struct {
 	node        *plan.HashJoin
 	left, right BatchIter
@@ -312,6 +404,11 @@ type hashJoinBatch struct {
 	pendPos     int
 	slab        []rel.Value // arena joined rows are carved from
 	exhausted   bool
+
+	// Parallel-build configuration (nil/0 = serial build from right).
+	ctx          *Ctx
+	buildPipe    *scanPipeline
+	buildWorkers int
 }
 
 // joinSlabValues sizes the output-row arena: joined rows are carved from a
@@ -320,30 +417,44 @@ type hashJoinBatch struct {
 // alive for exactly as long as some consumer holds one of their rows.
 const joinSlabValues = 4096
 
-func (h *hashJoinBatch) Open() error {
-	if err := h.right.Open(); err != nil {
-		return err
-	}
-	defer h.right.Close()
-	h.table = make(map[uint64][]rel.Row)
+// drainJoinBuild materializes a hash-join build side from a batch iterator
+// into a probe table; bucket order is the input (heap) order.
+func drainJoinBuild(right BatchIter, rkey int) (map[uint64][]rel.Row, error) {
+	table := make(map[uint64][]rel.Row)
 	build := rel.NewBatch(BatchSize)
 	for {
-		n, err := h.right.NextBatch(build)
+		n, err := right.NextBatch(build)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if n == 0 {
-			break
+			return table, nil
 		}
 		for _, row := range build.Rows {
-			key := row[h.node.RKey]
+			key := row[rkey]
 			if key.IsNull() {
 				continue
 			}
 			hash := key.Hash()
-			h.table[hash] = append(h.table[hash], row)
+			table[hash] = append(table[hash], row)
 		}
 	}
+}
+
+func (h *hashJoinBatch) Open() error {
+	if h.buildPipe != nil {
+		h.table = buildJoinTableParallel(h.ctx, h.buildPipe, h.node.RKey, h.buildWorkers)
+		return h.left.Open()
+	}
+	if err := h.right.Open(); err != nil {
+		return err
+	}
+	defer h.right.Close()
+	table, err := drainJoinBuild(h.right, h.node.RKey)
+	if err != nil {
+		return err
+	}
+	h.table = table
 	return h.left.Open()
 }
 

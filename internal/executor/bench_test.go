@@ -2,6 +2,7 @@ package executor
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"neurdb/internal/catalog"
@@ -319,4 +320,59 @@ func BenchmarkDeleteWhereBatch(b *testing.B) {
 	benchDML(b, func(ctx *Ctx, tbl *catalog.Table) (int, error) {
 		return DeleteWhere(ctx, tbl, where)
 	})
+}
+
+// BenchmarkParallelScanAgg runs the scan+aggregation pipeline with the
+// morsel-parallel worker pool sized to GOMAXPROCS, so `-cpu 1,2,4` records
+// the intra-query scaling curve (the bench-multicore CI job does exactly
+// that; a 1-core container shows ~1x by construction).
+func BenchmarkParallelScanAgg(b *testing.B) {
+	e := newBenchEnv(b)
+	tbl := e.fill(b, "t", scanRows, 16)
+	node := aggPlanNode(tbl)
+	ctx := e.readCtx()
+	ctx.Workers = runtime.GOMAXPROCS(0)
+	batch := rel.NewBatch(BatchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it, err := BuildBatch(node, ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := drainBatch(b, it, batch); got != 16 {
+			b.Fatalf("agg produced %d groups", got)
+		}
+	}
+	b.ReportMetric(float64(scanRows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkParallelScanFilter is the ordered-exchange pipeline (scan +
+// filter + project, no blocking operator) at GOMAXPROCS workers.
+func BenchmarkParallelScanFilter(b *testing.B) {
+	e := newBenchEnv(b)
+	tbl := e.fill(b, "t", scanRows, 16)
+	node := &plan.Project{
+		Base: plan.Base{Out: tbl.Schema},
+		Child: &plan.Filter{
+			Base:  plan.Base{Out: tbl.Schema},
+			Child: &plan.SeqScan{Base: plan.Base{Out: tbl.Schema}, Table: tbl},
+			Pred:  &rel.BinOp{Kind: rel.OpGt, L: &rel.ColRef{Idx: 2}, R: &rel.Const{Val: rel.Float(0.5)}},
+		},
+		Exprs: []rel.Expr{&rel.ColRef{Idx: 0}, &rel.ColRef{Idx: 2}},
+	}
+	ctx := e.readCtx()
+	ctx.Workers = runtime.GOMAXPROCS(0)
+	batch := rel.NewBatch(BatchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		it, err := BuildBatch(node, ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = drainBatch(b, it, batch)
+	}
+	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 }

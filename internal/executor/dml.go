@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"neurdb/internal/catalog"
+	"neurdb/internal/plan"
 	"neurdb/internal/rel"
 	"neurdb/internal/storage"
 )
@@ -144,10 +145,9 @@ func DeleteWhere(ctx *Ctx, t *catalog.Table, where rel.Expr) (int, error) {
 	})
 }
 
-// ScanAll returns every row visible to the context transaction (ANALYZE and
-// AI training-data extraction use this). It rides the page-batched read
-// path: one heap lock, one buffer-pool touch, and one visibility call per
-// page.
+// ScanAll returns every row visible to the context transaction (ANALYZE
+// uses this). It rides the page-batched read path: one heap lock, one
+// buffer-pool touch, and one visibility call per page.
 func ScanAll(ctx *Ctx, t *catalog.Table) []rel.Row {
 	out := make([]rel.Row, 0, t.Heap.LiveRows())
 	cursor := t.Heap.NewBatchCursor()
@@ -157,5 +157,39 @@ func ScanAll(ctx *Ctx, t *catalog.Table) []rel.Row {
 			return out
 		}
 		out = ctx.Mgr.ReadPage(t.ID, pageID, heads, ctx.Txn, out)
+	}
+}
+
+// ScanBatches streams every row visible to the context transaction through
+// visit, batch-at-a-time, without ever materializing the full table. When
+// ctx.Workers allows it the batches are produced by the morsel-parallel
+// pipeline (in heap order); otherwise by the serial page cursor. The batch
+// passed to visit is reused between calls — visit must copy what it keeps.
+// AI training-data extraction consumes tables through this (paper Fig. 6a).
+func ScanBatches(ctx *Ctx, t *catalog.Table, visit func(*rel.Batch) error) error {
+	pipe := &scanPipeline{table: t}
+	var it BatchIter
+	if w := pipelineWorkers(ctx, pipe); w > 1 {
+		it = newParallelScan(ctx, pipe, w)
+	} else {
+		it = &seqScanBatch{ctx: ctx, node: &plan.SeqScan{Table: t}}
+	}
+	if err := it.Open(); err != nil {
+		it.Close()
+		return err
+	}
+	defer it.Close()
+	batch := rel.NewBatch(BatchSize)
+	for {
+		n, err := it.NextBatch(batch)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return nil
+		}
+		if err := visit(batch); err != nil {
+			return err
+		}
 	}
 }

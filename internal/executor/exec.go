@@ -20,6 +20,11 @@ type Ctx struct {
 	Mgr *txn.Manager
 	Txn *txn.Txn
 	Cat *catalog.Catalog
+	// Workers caps intra-query parallelism: plans built under this context
+	// fan morsel pipelines out to at most this many goroutines. 0 or 1
+	// keeps execution serial (the zero value preserves the behaviour of
+	// callers that never opt in).
+	Workers int
 }
 
 // Iter is a pull-based row iterator. Next returns (nil, nil) at the end.
@@ -29,15 +34,16 @@ type Iter interface {
 	Close() error
 }
 
-// Build compiles a plan into an iterator tree. Operators with a native
-// vectorized implementation (scans, filter, project, hash join,
-// aggregation, sort, limit) execute batch-at-a-time internally and surface
-// rows through an adapter, so row-oriented callers transparently ride the
-// batch engine.
+// Build compiles a plan into an iterator tree. Every relational operator
+// has a native vectorized implementation (scans, filter, project, all three
+// joins, aggregation, sort, limit); they execute batch-at-a-time internally
+// (morsel-parallel when ctx.Workers allows) and surface rows through an
+// adapter, so row-oriented callers transparently ride the batch engine.
 func Build(n plan.Node, ctx *Ctx) (Iter, error) {
 	switch n.(type) {
-	case *plan.SeqScan, *plan.IndexScan, *plan.HashJoin, *plan.Filter,
-		*plan.Project, *plan.Agg, *plan.Sort, *plan.Limit:
+	case *plan.SeqScan, *plan.IndexScan, *plan.HashJoin, *plan.NLJoin,
+		*plan.IndexJoin, *plan.Filter, *plan.Project, *plan.Agg, *plan.Sort,
+		*plan.Limit:
 		b, err := BuildBatch(n, ctx)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,620 @@
+// Morsel-driven intra-query parallelism (HyPer-style): a page-range
+// dispatcher over the heap feeds a worker pool that runs fused
+// scan→filter→project pipelines, with parallel implementations of
+// aggregation (per-worker partial accumulators merged in heap first-seen
+// order), sort (per-worker sorted runs + k-way merge with a heap-order tie
+// break), and hash join (lock-striped parallel build, parallel probe). All
+// parallel operators emit exactly the row sequence their serial counterparts
+// produce: morsels are re-sequenced in heap order by a bounded ring of
+// rendezvous slots, so downstream operators — and differential tests —
+// cannot tell the paths apart (float SUM/AVG excepted: addition order over
+// partials is not associative, see docs/ARCHITECTURE.md).
+package executor
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"neurdb/internal/catalog"
+	"neurdb/internal/plan"
+	"neurdb/internal/rel"
+	"neurdb/internal/storage"
+)
+
+// MorselPages is the page count per morsel: 16 pages (2048 rows) is large
+// enough to amortize the claim and re-sequencing cost, small enough that
+// work stays balanced across workers on medium tables.
+const MorselPages = 16
+
+// minParallelPages keeps small tables serial: below two morsels' worth of
+// pages the fan-out cost exceeds the scan.
+const minParallelPages = 2 * MorselPages
+
+// parallelWorkerCount tracks live morsel workers across the process
+// (instrumentation; the cancellation tests assert it drains to zero).
+var parallelWorkerCount atomic.Int64
+
+// ParallelWorkers reports how many morsel workers are currently running.
+func ParallelWorkers() int64 { return parallelWorkerCount.Load() }
+
+// pipeStage is one fused transform a worker applies to its morsel's rows.
+// Exactly one field is set: pred filters, exprs projects, probe hash-joins.
+type pipeStage struct {
+	pred  rel.Expr
+	exprs []rel.Expr
+	probe *joinProbe
+}
+
+// scanPipeline is a compiled SeqScan→(Filter|Project)* plan subtree: the
+// unit of morsel parallelism. Workers execute the whole pipeline against
+// each morsel they claim, so filters and projections run in parallel with
+// the scan instead of serially above an exchange.
+type scanPipeline struct {
+	table  *catalog.Table
+	filter rel.Expr // SeqScan's pushed-down filter; may be nil
+	stages []pipeStage
+}
+
+// extractPipeline compiles n into a scan pipeline, reporting ok=false when
+// the subtree contains anything but SeqScan/Filter/Project (index scans are
+// point reads, not page ranges; blocking operators split pipelines).
+func extractPipeline(n plan.Node) (*scanPipeline, bool) {
+	switch t := n.(type) {
+	case *plan.SeqScan:
+		return &scanPipeline{table: t.Table, filter: t.Filter}, true
+	case *plan.Filter:
+		p, ok := extractPipeline(t.Child)
+		if !ok {
+			return nil, false
+		}
+		p.stages = append(p.stages, pipeStage{pred: t.Pred})
+		return p, true
+	case *plan.Project:
+		p, ok := extractPipeline(t.Child)
+		if !ok {
+			return nil, false
+		}
+		p.stages = append(p.stages, pipeStage{exprs: t.Exprs})
+		return p, true
+	}
+	return nil, false
+}
+
+// pipelineWorkers decides the degree of parallelism for a pipeline under
+// ctx: 0 means stay serial (workers not requested, table too small), else
+// the worker count clamped to the morsel count.
+func pipelineWorkers(ctx *Ctx, p *scanPipeline) int {
+	if ctx == nil || ctx.Workers <= 1 || p == nil {
+		return 0
+	}
+	pages := p.table.Heap.NumPages()
+	if pages < minParallelPages {
+		return 0
+	}
+	w := ctx.Workers
+	if m := (pages + MorselPages - 1) / MorselPages; w > m {
+		w = m
+	}
+	if w <= 1 {
+		return 0
+	}
+	return w
+}
+
+// serialized returns a context copy that forces serial execution below it
+// (the LIMIT-dominated fallback).
+func (ctx *Ctx) serialized() *Ctx {
+	c := *ctx
+	c.Workers = 1
+	return &c
+}
+
+// morselRows claims the next morsel and materializes its visible rows with
+// every pipeline stage applied. It returns idx=-1 once the source is
+// drained. The returned slice is freshly allocated per morsel — ownership
+// transfers to the receiver, which is what makes the exchange race-free.
+func (p *scanPipeline) morselRows(ctx *Ctx, ms *storage.MorselSource, buf []*storage.Version) (int, []rel.Row) {
+	idx, lo, hi, ok := ms.Next()
+	if !ok {
+		return -1, nil
+	}
+	rows := make([]rel.Row, 0, int(hi-lo)*storage.RowsPerPage)
+	for pg := lo; pg < hi; pg++ {
+		n := p.table.Heap.PageHeads(pg, buf)
+		if n == 0 {
+			continue
+		}
+		start := len(rows)
+		rows = ctx.Mgr.ReadPage(p.table.ID, pg, buf[:n], ctx.Txn, rows)
+		if p.filter != nil {
+			kept := rows[:start]
+			for _, row := range rows[start:] {
+				if p.filter.Eval(row).AsBool() {
+					kept = append(kept, row)
+				}
+			}
+			rows = kept
+		}
+	}
+	for si := range p.stages {
+		st := &p.stages[si]
+		switch {
+		case st.pred != nil:
+			kept := rows[:0]
+			for _, row := range rows {
+				if st.pred.Eval(row).AsBool() {
+					kept = append(kept, row)
+				}
+			}
+			rows = kept
+		case st.probe != nil:
+			rows = st.probe.apply(rows)
+		default:
+			for i, row := range rows {
+				out := make(rel.Row, len(st.exprs))
+				for j, e := range st.exprs {
+					out[j] = e.Eval(row)
+				}
+				rows[i] = out
+			}
+		}
+	}
+	return idx, rows
+}
+
+// --- ordered exchange (parallel scan/filter/project) ---
+
+type morselOut struct {
+	idx  int
+	rows []rel.Row
+}
+
+// parallelScan runs a scan pipeline on a worker pool and re-emits the
+// per-morsel results in morsel order, so consumers observe exactly the
+// serial scan's row sequence.
+//
+// The exchange is a ring of 2×workers rendezvous slots, each a 1-buffered
+// channel: the worker that produced morsel i sends to slots[i%len], which
+// blocks until the consumer has drained morsel i-len — workers can run at
+// most one ring ahead of the consumer, bounding buffered memory without a
+// coordinator. Claims come from an atomic counter, so the claimed set is
+// always a prefix of the morsel sequence; the slot the consumer is waiting
+// on is therefore always claimed by a worker that can complete, which rules
+// out deadlock. Close signals done; workers parked on a full slot observe it
+// and exit, and Close joins them before returning so the caller can finalize
+// the read transaction safely.
+type parallelScan struct {
+	ctx     *Ctx
+	pipe    *scanPipeline
+	workers int
+
+	slots   []chan morselOut
+	done    chan struct{}
+	wg      sync.WaitGroup
+	morsels int
+	nextIdx int       // next morsel ordinal to emit
+	cur     []rel.Row // current morsel's rows
+	pos     int
+	opened  bool
+	closed  bool
+}
+
+func newParallelScan(ctx *Ctx, pipe *scanPipeline, workers int) *parallelScan {
+	return &parallelScan{ctx: ctx, pipe: pipe, workers: workers}
+}
+
+// tryParallelScan returns a morsel-parallel iterator when n is a pure
+// scan→filter→project pipeline over a heap large enough to split.
+func tryParallelScan(n plan.Node, ctx *Ctx) (BatchIter, bool) {
+	pipe, ok := extractPipeline(n)
+	if !ok {
+		return nil, false
+	}
+	w := pipelineWorkers(ctx, pipe)
+	if w <= 1 {
+		return nil, false
+	}
+	return newParallelScan(ctx, pipe, w), true
+}
+
+func (s *parallelScan) Open() error {
+	s.start()
+	return nil
+}
+
+// start launches the worker pool. It is split from Open so the parallel
+// hash join can populate its probe table first.
+func (s *parallelScan) start() {
+	if s.opened {
+		return
+	}
+	s.opened = true
+	ms := s.pipe.table.Heap.NewMorselSource(MorselPages)
+	s.morsels = ms.Morsels()
+	s.done = make(chan struct{})
+	s.slots = make([]chan morselOut, 2*s.workers)
+	for i := range s.slots {
+		s.slots[i] = make(chan morselOut, 1)
+	}
+	s.wg.Add(s.workers)
+	for w := 0; w < s.workers; w++ {
+		go s.worker(ms)
+	}
+}
+
+func (s *parallelScan) worker(ms *storage.MorselSource) {
+	parallelWorkerCount.Add(1)
+	defer parallelWorkerCount.Add(-1)
+	defer s.wg.Done()
+	buf := make([]*storage.Version, storage.RowsPerPage)
+	for {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		idx, rows := s.pipe.morselRows(s.ctx, ms, buf)
+		if idx < 0 {
+			return
+		}
+		select {
+		case s.slots[idx%len(s.slots)] <- morselOut{idx, rows}:
+		case <-s.done:
+			return
+		}
+	}
+}
+
+func (s *parallelScan) NextBatch(dst *rel.Batch) (int, error) {
+	dst.Reset()
+	if s.closed {
+		return 0, nil
+	}
+	for {
+		for s.pos < len(s.cur) && dst.Len() < BatchSize {
+			dst.Append(s.cur[s.pos])
+			s.pos++
+		}
+		if dst.Len() >= BatchSize || s.nextIdx >= s.morsels {
+			return dst.Len(), nil
+		}
+		out := <-s.slots[s.nextIdx%len(s.slots)]
+		s.cur, s.pos = out.rows, 0
+		s.nextIdx++
+	}
+}
+
+func (s *parallelScan) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.opened {
+		close(s.done)
+		s.wg.Wait()
+	}
+	return nil
+}
+
+// --- parallel aggregation ---
+
+// parallelAgg aggregates a scan pipeline with per-worker partial
+// accumulators merged in a final step. Groups come out in global first-seen
+// heap order (each partial tracks the smallest row sequence per group), so
+// the output row order matches the serial aggBatch exactly.
+type parallelAgg struct {
+	ctx     *Ctx
+	node    *plan.Agg
+	pipe    *scanPipeline
+	workers int
+
+	out []rel.Row
+	pos int
+}
+
+func (a *parallelAgg) Open() error {
+	ms := a.pipe.table.Heap.NewMorselSource(MorselPages)
+	partials := make([]*aggAcc, a.workers)
+	var wg sync.WaitGroup
+	wg.Add(a.workers)
+	for w := 0; w < a.workers; w++ {
+		go func(w int) {
+			parallelWorkerCount.Add(1)
+			defer parallelWorkerCount.Add(-1)
+			defer wg.Done()
+			acc := newAggAcc(a.node)
+			buf := make([]*storage.Version, storage.RowsPerPage)
+			for {
+				idx, rows := a.pipe.morselRows(a.ctx, ms, buf)
+				if idx < 0 {
+					break
+				}
+				seq := uint64(idx) << 32
+				for _, row := range rows {
+					acc.add(row, seq)
+					seq++
+				}
+			}
+			partials[w] = acc
+		}(w)
+	}
+	wg.Wait()
+	merged := partials[0]
+	for _, p := range partials[1:] {
+		merged.mergeFrom(p)
+	}
+	a.out = merged.finalize()
+	return nil
+}
+
+func (a *parallelAgg) NextBatch(dst *rel.Batch) (int, error) {
+	dst.Reset()
+	for a.pos < len(a.out) && dst.Len() < BatchSize {
+		dst.Append(a.out[a.pos])
+		a.pos++
+	}
+	return dst.Len(), nil
+}
+
+func (a *parallelAgg) Close() error { return nil }
+
+// --- parallel sort ---
+
+// sortRun is one worker's share of a parallel sort: rows with precomputed
+// columnar key values, a heap-order sequence per row, and a sorted index
+// permutation over them.
+type sortRun struct {
+	rows []rel.Row
+	keys [][]rel.Value // [key][row]
+	seqs []uint64
+	idx  []int32
+}
+
+// parallelSort parallelizes key extraction and run sorting across workers,
+// then k-way-merges the runs. Ties on every sort key break on the row's
+// heap-order sequence, which reproduces the serial operator's stable sort
+// exactly (stability there means heap order too).
+type parallelSort struct {
+	ctx     *Ctx
+	keys    []plan.SortKey
+	pipe    *scanPipeline
+	workers int
+
+	out []rel.Row
+	pos int
+}
+
+// less orders (run a, position ai) against (run b, position bi) by the sort
+// keys with a heap-sequence tie break. Positions index the runs' idx
+// permutations' targets directly.
+func (s *parallelSort) less(a *sortRun, ai int32, b *sortRun, bi int32) bool {
+	for k := range s.keys {
+		c := rel.Compare(a.keys[k][ai], b.keys[k][bi])
+		if c == 0 {
+			continue
+		}
+		if s.keys[k].Desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return a.seqs[ai] < b.seqs[bi]
+}
+
+func (s *parallelSort) Open() error {
+	ms := s.pipe.table.Heap.NewMorselSource(MorselPages)
+	runs := make([]*sortRun, s.workers)
+	var wg sync.WaitGroup
+	wg.Add(s.workers)
+	for w := 0; w < s.workers; w++ {
+		go func(w int) {
+			parallelWorkerCount.Add(1)
+			defer parallelWorkerCount.Add(-1)
+			defer wg.Done()
+			run := &sortRun{keys: make([][]rel.Value, len(s.keys))}
+			buf := make([]*storage.Version, storage.RowsPerPage)
+			for {
+				idx, rows := s.pipe.morselRows(s.ctx, ms, buf)
+				if idx < 0 {
+					break
+				}
+				seq := uint64(idx) << 32
+				for _, row := range rows {
+					run.rows = append(run.rows, row)
+					run.seqs = append(run.seqs, seq)
+					seq++
+					for k := range s.keys {
+						run.keys[k] = append(run.keys[k], s.keys[k].E.Eval(row))
+					}
+				}
+			}
+			run.idx = make([]int32, len(run.rows))
+			for i := range run.idx {
+				run.idx[i] = int32(i)
+			}
+			// The seq tie break makes the order total, so an unstable
+			// sort is deterministic here.
+			sort.Slice(run.idx, func(i, j int) bool {
+				return s.less(run, run.idx[i], run, run.idx[j])
+			})
+			runs[w] = run
+		}(w)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, run := range runs {
+		total += len(run.rows)
+	}
+	s.out = make([]rel.Row, 0, total)
+	pos := make([]int, s.workers)
+	for len(s.out) < total {
+		best := -1
+		for w, run := range runs {
+			if pos[w] >= len(run.idx) {
+				continue
+			}
+			if best < 0 || s.less(run, run.idx[pos[w]], runs[best], runs[best].idx[pos[best]]) {
+				best = w
+			}
+		}
+		s.out = append(s.out, runs[best].rows[runs[best].idx[pos[best]]])
+		pos[best]++
+	}
+	return nil
+}
+
+func (s *parallelSort) NextBatch(dst *rel.Batch) (int, error) {
+	dst.Reset()
+	for s.pos < len(s.out) && dst.Len() < BatchSize {
+		dst.Append(s.out[s.pos])
+		s.pos++
+	}
+	return dst.Len(), nil
+}
+
+func (s *parallelSort) Close() error { return nil }
+
+// --- parallel hash join ---
+
+// joinProbe is the hash-probe pipeline stage: each worker probes the shared
+// read-only table for its morsel's rows, carving joined rows from a
+// morsel-local value slab. table is installed before workers start and never
+// mutated afterwards.
+type joinProbe struct {
+	node  *plan.HashJoin
+	table map[uint64][]rel.Row
+}
+
+func (jp *joinProbe) apply(in []rel.Row) []rel.Row {
+	out := make([]rel.Row, 0, len(in))
+	var slab []rel.Value
+	for _, l := range in {
+		key := l[jp.node.LKey]
+		if key.IsNull() {
+			continue
+		}
+		for _, r := range jp.table[key.Hash()] {
+			if !rel.Equal(r[jp.node.RKey], key) {
+				continue
+			}
+			out, slab = emitJoined(out, slab, l, r, jp.node.Residual)
+		}
+	}
+	return out
+}
+
+// joinStripeCount is the lock striping of the parallel build table: hash
+// buckets are distributed over this many independently locked stripes.
+const joinStripeCount = 64
+
+// buildJoinTableParallel drains a build-side pipeline with a worker pool
+// into a lock-striped hash table, then flattens it into the plain probe
+// table with every bucket sorted by build (heap) sequence — probe match
+// order is therefore identical to a serial build.
+func buildJoinTableParallel(ctx *Ctx, pipe *scanPipeline, rkey, workers int) map[uint64][]rel.Row {
+	type buildEnt struct {
+		seq uint64
+		row rel.Row
+	}
+	type stripe struct {
+		mu sync.Mutex
+		m  map[uint64][]buildEnt
+	}
+	stripes := make([]*stripe, joinStripeCount)
+	for i := range stripes {
+		stripes[i] = &stripe{m: make(map[uint64][]buildEnt)}
+	}
+	ms := pipe.table.Heap.NewMorselSource(MorselPages)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			parallelWorkerCount.Add(1)
+			defer parallelWorkerCount.Add(-1)
+			defer wg.Done()
+			buf := make([]*storage.Version, storage.RowsPerPage)
+			local := make([]map[uint64][]buildEnt, joinStripeCount)
+			for {
+				idx, rows := pipe.morselRows(ctx, ms, buf)
+				if idx < 0 {
+					return
+				}
+				// Accumulate the morsel into worker-local stripe maps, then
+				// splice each touched stripe under one lock acquisition —
+				// per-morsel instead of per-row locking. The post-build
+				// bucket sort restores deterministic (seq) order, so splice
+				// interleaving across workers is irrelevant.
+				base := uint64(idx) << 32
+				for i, row := range rows {
+					key := row[rkey]
+					if key.IsNull() {
+						continue
+					}
+					h := key.Hash()
+					s := h % joinStripeCount
+					if local[s] == nil {
+						local[s] = make(map[uint64][]buildEnt)
+					}
+					local[s][h] = append(local[s][h], buildEnt{base + uint64(i), row})
+				}
+				for s, m := range local {
+					if m == nil {
+						continue
+					}
+					st := stripes[s]
+					st.mu.Lock()
+					for h, ents := range m {
+						st.m[h] = append(st.m[h], ents...)
+					}
+					st.mu.Unlock()
+					local[s] = nil
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	table := make(map[uint64][]rel.Row)
+	for _, st := range stripes {
+		for h, ents := range st.m {
+			sort.Slice(ents, func(i, j int) bool { return ents[i].seq < ents[j].seq })
+			rows := make([]rel.Row, len(ents))
+			for i, e := range ents {
+				rows[i] = e.row
+			}
+			table[h] = rows
+		}
+	}
+	return table
+}
+
+// parallelHashJoin is a hash join whose probe side is a morsel pipeline:
+// Open builds the table (in parallel when the build side is a pipeline too,
+// serially from a batch iterator otherwise), installs it in the probe stage,
+// and then streams joined rows through the embedded ordered exchange.
+type parallelHashJoin struct {
+	parallelScan
+	probe        *joinProbe
+	right        BatchIter // serial build input; nil when buildPipe is set
+	buildPipe    *scanPipeline
+	buildWorkers int
+}
+
+func (j *parallelHashJoin) Open() error {
+	if j.buildPipe != nil {
+		j.probe.table = buildJoinTableParallel(j.ctx, j.buildPipe, j.probe.node.RKey, j.buildWorkers)
+	} else {
+		if err := j.right.Open(); err != nil {
+			return err
+		}
+		defer j.right.Close()
+		table, err := drainJoinBuild(j.right, j.probe.node.RKey)
+		if err != nil {
+			return err
+		}
+		j.probe.table = table
+	}
+	j.start()
+	return nil
+}

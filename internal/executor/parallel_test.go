@@ -1,0 +1,386 @@
+package executor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"neurdb/internal/catalog"
+	"neurdb/internal/index"
+	"neurdb/internal/optimizer"
+	"neurdb/internal/plan"
+	"neurdb/internal/rel"
+	"neurdb/internal/sqlparse"
+	"neurdb/internal/txn"
+)
+
+// planFor compiles sql into a physical plan against the test catalog.
+func planFor(t *testing.T, db *testDB, sql string) plan.Node {
+	t.Helper()
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := optimizer.Bind(stmt.(*sqlparse.Select), db.cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := optimizer.New().Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// runWorkers executes sql on the batch engine with the given parallelism.
+func runWorkers(t *testing.T, db *testDB, sql string, workers int) []rel.Row {
+	t.Helper()
+	p := planFor(t, db, sql)
+	ctx := &Ctx{Mgr: db.mgr, Txn: db.mgr.Begin(txn.Snapshot, true), Cat: db.cat, Workers: workers}
+	rows, err := Run(p, ctx)
+	if err != nil {
+		t.Fatalf("%q workers=%d: %v", sql, workers, err)
+	}
+	db.mgr.Abort(ctx.Txn)
+	return rows
+}
+
+// loadParallelFixture builds two committed tables spanning many heap pages
+// (items well past minParallelPages) with NULL keys, NULL aggregate inputs,
+// deleted rows, and updated rows, so parallel visibility, filters, grouping,
+// ties, and join matches all cross morsel boundaries. All float values are
+// small multiples of 0.5: their sums are exact in float64 regardless of
+// addition order, so SUM/AVG compare byte-identically across any morsel
+// split (see docs/ARCHITECTURE.md on parallel float aggregation).
+func loadParallelFixture(t *testing.T, db *testDB) {
+	items := db.mustCreate("items",
+		rel.Column{Name: "id", Typ: rel.TypeInt, Unique: true},
+		rel.Column{Name: "cat", Typ: rel.TypeInt},
+		rel.Column{Name: "price", Typ: rel.TypeFloat},
+	)
+	cats := db.mustCreate("cats",
+		rel.Column{Name: "cid", Typ: rel.TypeInt},
+		rel.Column{Name: "label", Typ: rel.TypeText},
+	)
+	r := rand.New(rand.NewSource(11))
+	ctx := db.ctx()
+	rows := make([]rel.Row, 0, 12000)
+	for i := 0; i < 12000; i++ {
+		cat := rel.Int(int64(r.Intn(7))) // heavy ties for sort/group
+		if i%29 == 0 {
+			cat = rel.Null()
+		}
+		price := rel.Float(float64(r.Intn(400)) * 0.5) // exact sums
+		if i%37 == 0 {
+			price = rel.Null()
+		}
+		rows = append(rows, rel.Row{rel.Int(int64(i)), cat, price})
+	}
+	if _, err := InsertBatch(ctx, items, rows); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 7; c++ {
+		if _, err := InsertRow(ctx, cats, rel.Row{rel.Int(int64(c)), rel.Text(fmt.Sprintf("c%d", c))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.mgr.Commit(ctx.Txn); err != nil {
+		t.Fatal(err)
+	}
+	// Version chains and vacated slots must not confuse morsel scans.
+	mctx := db.ctx()
+	del := &rel.BinOp{Kind: rel.OpLt, L: &rel.ColRef{Idx: 0}, R: &rel.Const{Val: rel.Int(700)}}
+	if _, err := DeleteWhere(mctx, items, del); err != nil {
+		t.Fatal(err)
+	}
+	set := map[int]rel.Expr{2: &rel.Const{Val: rel.Float(2.5)}}
+	upd := &rel.BinOp{Kind: rel.OpGt, L: &rel.ColRef{Idx: 0}, R: &rel.Const{Val: rel.Int(11000)}}
+	if _, err := UpdateWhere(mctx, items, set, upd); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.mgr.Commit(mctx.Txn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelMatchesSerialExact is the parallel differential: every query
+// shape must return the exact same row *sequence* with 4 workers as with 1 —
+// not just the same multiset. The ordered morsel exchange, the first-seen
+// merge order of parallel aggregation, the sequence tie break of the
+// parallel sort, and the seq-sorted join buckets are what make this hold.
+func TestParallelMatchesSerialExact(t *testing.T) {
+	db := newTestDB(t)
+	loadParallelFixture(t, db)
+
+	queries := []string{
+		"SELECT * FROM items",
+		"SELECT id, price FROM items WHERE cat = 3",
+		"SELECT id, price * 2 FROM items WHERE price > 50",
+		"SELECT cat, COUNT(*), SUM(price) FROM items GROUP BY cat",
+		"SELECT cat, AVG(price), MIN(price), MAX(price) FROM items GROUP BY cat",
+		"SELECT COUNT(*), SUM(price), AVG(price), MIN(price), MAX(price) FROM items",
+		"SELECT COUNT(*) FROM items WHERE id < 0", // scalar agg over empty input
+		"SELECT id, cat FROM items ORDER BY cat",  // heavy ties: stability check
+		"SELECT id, cat FROM items ORDER BY cat DESC, price",
+		"SELECT id FROM items ORDER BY price DESC LIMIT 37",
+		"SELECT id FROM items LIMIT 10",
+		"SELECT id FROM items LIMIT 0",
+		"SELECT i.id, c.label FROM items i JOIN cats c ON i.cat = c.cid WHERE i.price > 90",
+		"SELECT i.id, c.label FROM items i, cats c WHERE i.cat = c.cid AND c.label = 'c5'",
+		"SELECT c.label, i.id FROM cats c JOIN items i ON c.cid = i.cat WHERE c.cid = 2",
+	}
+	for _, sql := range queries {
+		serial := runWorkers(t, db, sql, 1)
+		par := runWorkers(t, db, sql, 4)
+		if len(serial) != len(par) {
+			t.Fatalf("%q: serial %d rows, parallel %d rows", sql, len(serial), len(par))
+		}
+		for i := range serial {
+			if serial[i].String() != par[i].String() {
+				t.Fatalf("%q: position %d differs: serial %v parallel %v", sql, i, serial[i], par[i])
+			}
+		}
+	}
+}
+
+// TestParallelOperatorSelection pins the planner/executor boundary: big
+// pipelines go parallel, small tables and LIMIT-dominated pipelines stay
+// serial.
+func TestParallelOperatorSelection(t *testing.T) {
+	db := newTestDB(t)
+	loadParallelFixture(t, db)
+	small := db.mustCreate("small", rel.Column{Name: "x", Typ: rel.TypeInt})
+	db.insert(small, rel.Row{rel.Int(1)}, rel.Row{rel.Int(2)})
+
+	ctx := &Ctx{Mgr: db.mgr, Txn: db.mgr.Begin(txn.Snapshot, true), Cat: db.cat, Workers: 4}
+	defer db.mgr.Abort(ctx.Txn)
+	build := func(sql string) BatchIter {
+		it, err := BuildBatch(planFor(t, db, sql), ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return it
+	}
+
+	if _, ok := build("SELECT id FROM items WHERE price > 10").(*parallelScan); !ok {
+		t.Fatal("big scan→filter→project pipeline did not go parallel")
+	}
+	if _, ok := build("SELECT cat, COUNT(*) FROM items GROUP BY cat").(*parallelAgg); !ok {
+		t.Fatal("big aggregation did not go parallel")
+	}
+	it := build("SELECT id FROM items ORDER BY price")
+	proj, ok := it.(*projectBatch)
+	if !ok {
+		t.Fatalf("ORDER BY plan root is %T, want projectBatch", it)
+	}
+	if _, ok := proj.child.(*parallelSort); !ok {
+		t.Fatalf("big sort did not go parallel (child is %T)", proj.child)
+	}
+	if _, ok := build("SELECT x FROM small").(*parallelScan); ok {
+		t.Fatal("two-row table went parallel; small tables must stay serial")
+	}
+	// LIMIT directly over a streaming pipeline: the child must be the
+	// serial scan so the limit can short-circuit.
+	lim, ok := build("SELECT id FROM items LIMIT 5").(*limitBatch)
+	if !ok {
+		t.Fatal("LIMIT plan did not build a limitBatch root")
+	}
+	if _, ok := lim.child.(*parallelScan); ok {
+		t.Fatal("LIMIT-dominated pipeline went parallel; short-circuit beats fan-out")
+	}
+	// ...but LIMIT over a blocking sort keeps the parallel child.
+	lim, ok = build("SELECT id FROM items ORDER BY price LIMIT 5").(*limitBatch)
+	if !ok {
+		t.Fatal("ORDER BY LIMIT plan did not build a limitBatch root")
+	}
+	if proj, ok := lim.child.(*projectBatch); !ok {
+		t.Fatalf("ORDER BY LIMIT child is %T, want projectBatch", lim.child)
+	} else if _, ok := proj.child.(*parallelSort); !ok {
+		t.Fatalf("sort under LIMIT lost its parallelism (got %T)", proj.child)
+	}
+}
+
+// TestParallelScanCancellation: closing a parallel iterator mid-stream must
+// stop every worker (including ones parked on a full exchange slot) before
+// Close returns, and leave the process with no lingering morsel goroutines.
+func TestParallelScanCancellation(t *testing.T) {
+	db := newTestDB(t)
+	loadParallelFixture(t, db)
+
+	ctx := &Ctx{Mgr: db.mgr, Txn: db.mgr.Begin(txn.Snapshot, true), Cat: db.cat, Workers: 4}
+	it, err := BuildBatch(planFor(t, db, "SELECT * FROM items"), ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := it.(*parallelScan); !ok {
+		t.Fatalf("expected a parallel scan, got %T", it)
+	}
+	if err := it.Open(); err != nil {
+		t.Fatal(err)
+	}
+	batch := rel.NewBatch(BatchSize)
+	if n, err := it.NextBatch(batch); err != nil || n == 0 {
+		t.Fatalf("first batch: n=%d err=%v", n, err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db.mgr.Abort(ctx.Txn)
+	// Close joins the workers, so the counter must already be drained; the
+	// poll guards against other tests' stragglers on slow machines.
+	deadline := time.Now().Add(5 * time.Second)
+	for ParallelWorkers() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := ParallelWorkers(); n != 0 {
+		t.Fatalf("%d morsel workers still running after Close", n)
+	}
+}
+
+// TestScanBatchesParallelMatchesScanAll: the streaming extraction path (AI
+// featurization) must deliver exactly the rows and order of the materialized
+// ScanAll, serial and parallel alike.
+func TestScanBatchesParallelMatchesScanAll(t *testing.T) {
+	db := newTestDB(t)
+	loadParallelFixture(t, db)
+	items, err := db.cat.Get("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		ctx := &Ctx{Mgr: db.mgr, Txn: db.mgr.Begin(txn.Snapshot, true), Cat: db.cat, Workers: workers}
+		want := ScanAll(ctx, items)
+		var got []rel.Row
+		if err := ScanBatches(ctx, items, func(b *rel.Batch) error {
+			got = append(got, b.Rows...)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		db.mgr.Abort(ctx.Txn)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: ScanBatches %d rows, ScanAll %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].String() != want[i].String() {
+				t.Fatalf("workers=%d: row %d differs: %v vs %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchJoinsMatchScalar: the native batch nested-loop and index joins
+// must reproduce the scalar row-iterator joins exactly, including inner
+// order.
+func TestBatchJoinsMatchScalar(t *testing.T) {
+	db := newTestDB(t)
+	left := db.mustCreate("l",
+		rel.Column{Name: "k", Typ: rel.TypeInt},
+		rel.Column{Name: "v", Typ: rel.TypeInt},
+	)
+	right := db.mustCreate("r",
+		rel.Column{Name: "k", Typ: rel.TypeInt},
+		rel.Column{Name: "w", Typ: rel.TypeInt},
+	)
+	// An index on the inner join column makes the plan index-join eligible
+	// (postings are backfilled by the insert helper's InsertRow calls).
+	right.AddIndex(&catalog.Index{Name: "r_k", Col: 0, BT: index.NewBTree()})
+	rng := rand.New(rand.NewSource(3))
+	var lrows, rrows []rel.Row
+	for i := 0; i < 900; i++ {
+		k := rel.Int(int64(rng.Intn(300)))
+		if i%41 == 0 {
+			k = rel.Null()
+		}
+		lrows = append(lrows, rel.Row{k, rel.Int(int64(i))})
+	}
+	for i := 0; i < 300; i++ {
+		rrows = append(rrows, rel.Row{rel.Int(int64(i)), rel.Int(int64(i * 10))})
+	}
+	db.insert(left, lrows...)
+	db.insert(right, rrows...)
+	// Statistics make the index join costable (distinct counts drive the
+	// per-probe match estimate).
+	left.Stats.Rebuild(lrows)
+	right.Stats.Rebuild(rrows)
+
+	cases := []struct {
+		sql   string
+		hints optimizer.HintSet
+		shape string // plan operator the hint set must force
+	}{
+		// Equi-join against the unique (indexed) column, hash and NL
+		// disabled: index join.
+		{"SELECT l.v, r.w FROM l JOIN r ON l.k = r.k",
+			optimizer.HintSet{NoHashJoin: true, NoNLJoin: true}, "IndexJoin"},
+		// Same equi-join with hash and index joins disabled: nested loop.
+		{"SELECT l.v, r.w FROM l JOIN r ON l.k = r.k",
+			optimizer.HintSet{NoHashJoin: true, NoIndexJoin: true}, "NLJoin"},
+		// Non-equi condition: cross nested loop with a residual filter.
+		{"SELECT l.v, r.w FROM l, r WHERE l.v < 5 AND r.w < 30 AND l.v < r.w",
+			optimizer.HintSet{}, "NLJoin"},
+	}
+	for _, tc := range cases {
+		stmt, err := sqlparse.Parse(tc.sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := optimizer.Bind(stmt.(*sqlparse.Select), db.cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := optimizer.New()
+		o.Hints = tc.hints
+		p, err := o.Plan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shaped := false
+		plan.Walk(p, func(n plan.Node, _ int) {
+			switch n.(type) {
+			case *plan.IndexJoin:
+				shaped = shaped || tc.shape == "IndexJoin"
+			case *plan.NLJoin:
+				shaped = shaped || tc.shape == "NLJoin"
+			}
+		})
+		if !shaped {
+			t.Fatalf("%q (%+v): plan does not contain %s:\n%s", tc.sql, tc.hints, tc.shape, plan.Explain(p))
+		}
+
+		run := func(build func(plan.Node, *Ctx) (Iter, error)) []rel.Row {
+			ctx := &Ctx{Mgr: db.mgr, Txn: db.mgr.Begin(txn.Snapshot, true), Cat: db.cat}
+			defer db.mgr.Abort(ctx.Txn)
+			it, err := build(p, ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := it.Open(); err != nil {
+				t.Fatal(err)
+			}
+			defer it.Close()
+			var out []rel.Row
+			for {
+				row, err := it.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if row == nil {
+					return out
+				}
+				out = append(out, row)
+			}
+		}
+		batched := run(Build)      // batch engine (nlJoinBatch/indexJoinBatch)
+		scalar := run(buildScalar) // legacy row tree
+		if len(batched) != len(scalar) {
+			t.Fatalf("%q [%s]: batch %d rows, scalar %d rows", tc.sql, tc.shape, len(batched), len(scalar))
+		}
+		for i := range batched {
+			if batched[i].String() != scalar[i].String() {
+				t.Fatalf("%q [%s]: position %d differs: batch %v scalar %v", tc.sql, tc.shape, i, batched[i], scalar[i])
+			}
+		}
+	}
+}

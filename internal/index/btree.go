@@ -165,6 +165,23 @@ func (t *BTree) Lookup(key rel.Value) []storage.RowID {
 	return nil
 }
 
+// LookupBatch probes every key under a single RLock, appending postings to
+// dst and per-key end offsets to offs (see catalog.Index.LookupBatch for the
+// flattened layout).
+func (t *BTree) LookupBatch(keys []rel.Value, dst []storage.RowID, offs []int) ([]storage.RowID, []int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, key := range keys {
+		leaf := t.findLeaf(key)
+		i := lowerBound(leaf.keys, key)
+		if i < len(leaf.keys) && rel.Compare(leaf.keys[i], key) == 0 {
+			dst = append(dst, leaf.postings[i]...)
+		}
+		offs = append(offs, len(dst))
+	}
+	return dst, offs
+}
+
 func (t *BTree) findLeaf(key rel.Value) *btLeaf {
 	n := t.root
 	for {
@@ -283,6 +300,23 @@ func (h *HashIndex) Lookup(key rel.Value) []storage.RowID {
 		}
 	}
 	return out
+}
+
+// LookupBatch probes every key under a single RLock, appending matches to
+// dst and per-key end offsets to offs (see catalog.Index.LookupBatch for the
+// flattened layout).
+func (h *HashIndex) LookupBatch(keys []rel.Value, dst []storage.RowID, offs []int) ([]storage.RowID, []int) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	for _, key := range keys {
+		for _, e := range h.buckets[key.Hash()] {
+			if rel.Equal(e.key, key) {
+				dst = append(dst, e.id)
+			}
+		}
+		offs = append(offs, len(dst))
+	}
+	return dst, offs
 }
 
 // Delete removes one posting matching (key, id); returns true if removed.

@@ -246,3 +246,55 @@ func TestHashIndexTextKeys(t *testing.T) {
 		t.Fatalf("text lookup = %v", got)
 	}
 }
+
+// TestLookupBatchMatchesLookup: the batched probe must return, per key, the
+// exact postings (and order) of individual Lookup calls — for both index
+// kinds, including missing keys and duplicate-key postings.
+func TestLookupBatchMatchesLookup(t *testing.T) {
+	bt := NewBTree()
+	hx := NewHashIndex()
+	for i := 0; i < 500; i++ {
+		key := rel.Int(int64(i % 120)) // duplicates accumulate postings
+		id := storage.RowID{Page: uint32(i / 128), Slot: uint32(i % 128)}
+		bt.Insert(key, id)
+		hx.Insert(key, id)
+	}
+	keys := []rel.Value{
+		rel.Int(0), rel.Int(7), rel.Int(7), // repeated probe key
+		rel.Int(119), rel.Int(500), // missing key
+		rel.Int(64),
+	}
+	check := func(name string, lookup func(rel.Value) []storage.RowID,
+		batch func([]rel.Value, []storage.RowID, []int) ([]storage.RowID, []int)) {
+		ids, offs := batch(keys, nil, nil)
+		if len(offs) != len(keys) {
+			t.Fatalf("%s: %d offsets for %d keys", name, len(offs), len(keys))
+		}
+		start := 0
+		for k, key := range keys {
+			got := ids[start:offs[k]]
+			want := lookup(key)
+			if len(got) != len(want) {
+				t.Fatalf("%s key %v: batch %d postings, single %d", name, key, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s key %v posting %d: %v != %v", name, key, i, got[i], want[i])
+				}
+			}
+			start = offs[k]
+		}
+		if start != len(ids) {
+			t.Fatalf("%s: %d postings not covered by offsets", name, len(ids)-start)
+		}
+	}
+	check("btree", bt.Lookup, bt.LookupBatch)
+	check("hash", hx.Lookup, hx.LookupBatch)
+
+	// Appending into preloaded slices must not clobber the prefix.
+	pre := []storage.RowID{{Page: 9, Slot: 9}}
+	ids, offs := bt.LookupBatch(keys[:1], pre, []int{len(pre)})
+	if ids[0] != pre[0] || offs[0] != 1 || offs[1] != len(ids) {
+		t.Fatalf("batch append clobbered prefix: ids=%v offs=%v", ids, offs)
+	}
+}

@@ -40,6 +40,7 @@ type entry struct {
 	key        pageKey
 	hnext      int32 // next entry in the hash-bucket chain (-1 = end)
 	prev, next int32 // LRU neighbours (-1 = end); prev side is MRU
+	dirty      bool  // written since admission; cleared by eviction (write-back)
 }
 
 // poolShard is one independently locked exact-LRU region of the pool.
@@ -61,6 +62,13 @@ type poolShard struct {
 	// deletes keys at zero so dead tables never accumulate.
 	counts   []int32
 	perTable map[int]int
+
+	// Dirty-page accounting mirrors residency: a write Touch marks the
+	// entry dirty (once), eviction models write-back and clears it. The
+	// dense/map split matches counts/perTable.
+	dirtyTotal  int
+	dirtyCounts []int32
+	dirtyPer    map[int]int
 
 	hits, misses atomic.Uint64
 }
@@ -97,6 +105,39 @@ func (s *poolShard) residentPages(table int) int {
 	return s.perTable[table]
 }
 
+// dirtyAdd adjusts the dirty-page count of a table by ±1. Caller holds mu.
+func (s *poolShard) dirtyAdd(table, delta int) {
+	s.dirtyTotal += delta
+	if table >= 0 && table < len(s.dirtyCounts) {
+		s.dirtyCounts[table] += int32(delta)
+		return
+	}
+	if table >= 0 && table < maxDenseTableID {
+		s.dirtyCounts = append(s.dirtyCounts, make([]int32, table+1-len(s.dirtyCounts))...)
+		s.dirtyCounts[table] += int32(delta)
+		return
+	}
+	if n := s.dirtyPer[table] + delta; n <= 0 {
+		delete(s.dirtyPer, table)
+	} else {
+		s.dirtyPer[table] = n
+	}
+}
+
+// dirtyPages returns the shard's dirty page count, for one table (>= 0) or
+// in total (table < 0).
+func (s *poolShard) dirtyPages(table int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if table < 0 {
+		return s.dirtyTotal
+	}
+	if table < len(s.dirtyCounts) {
+		return int(s.dirtyCounts[table])
+	}
+	return s.dirtyPer[table]
+}
+
 func newPoolShard(capacity int) *poolShard {
 	nbuckets := 8
 	for nbuckets < 2*capacity {
@@ -120,16 +161,25 @@ func (s *poolShard) resetLocked() {
 	s.head, s.tail = -1, -1
 	s.counts = s.counts[:0]
 	s.perTable = make(map[int]int)
+	s.dirtyTotal = 0
+	s.dirtyCounts = s.dirtyCounts[:0]
+	s.dirtyPer = make(map[int]int)
 }
 
 // touch records an access within this shard: exact LRU with admission on
-// miss, identical semantics to the original single-mutex pool.
-func (s *poolShard) touch(key pageKey, h uint64) bool {
+// miss, identical semantics to the original single-mutex pool. A write
+// access marks the resident entry dirty; evicting a dirty page models the
+// write-back and clears the accounting.
+func (s *poolShard) touch(key pageKey, h uint64, write bool) bool {
 	s.mu.Lock()
 	b := uint32(h) & s.bmask
 	for i := s.buckets[b]; i >= 0; i = s.entries[i].hnext {
 		if s.entries[i].key == key {
 			s.moveToFront(i)
+			if write && !s.entries[i].dirty {
+				s.entries[i].dirty = true
+				s.dirtyAdd(key.table, 1)
+			}
 			s.mu.Unlock()
 			s.hits.Add(1)
 			return true
@@ -142,10 +192,13 @@ func (s *poolShard) touch(key pageKey, h uint64) bool {
 		s.used++
 	} else {
 		idx = s.tail
-		victim := s.entries[idx].key
+		victim := s.entries[idx]
 		s.unlink(idx)
-		s.bucketRemove(victim, idx)
-		s.tableAdd(victim.table, -1)
+		s.bucketRemove(victim.key, idx)
+		s.tableAdd(victim.key.table, -1)
+		if victim.dirty {
+			s.dirtyAdd(victim.key.table, -1)
+		}
 	}
 	e := &s.entries[idx]
 	e.key = key
@@ -153,6 +206,7 @@ func (s *poolShard) touch(key pageKey, h uint64) bool {
 	s.buckets[b] = idx
 	e.prev = -1
 	e.next = s.head
+	e.dirty = write
 	if s.head >= 0 {
 		s.entries[s.head].prev = idx
 	}
@@ -161,6 +215,9 @@ func (s *poolShard) touch(key pageKey, h uint64) bool {
 		s.tail = idx
 	}
 	s.tableAdd(key.table, 1)
+	if write {
+		s.dirtyAdd(key.table, 1)
+	}
 	s.mu.Unlock()
 	s.misses.Add(1)
 	return false
@@ -286,10 +343,35 @@ func NewShardedBufferPool(capacity, shards int) *BufferPool {
 
 // Touch records an access to (table, page), returning true on a buffer hit.
 // Misses admit the page, evicting that shard's LRU page if at capacity.
+// Write accesses additionally mark the page dirty (see DirtyPages).
 func (b *BufferPool) Touch(table int, page uint32, write bool) bool {
 	key := pageKey{table, page}
 	h := key.hash()
-	return b.shards[(h>>48)&b.mask].touch(key, h)
+	return b.shards[(h>>48)&b.mask].touch(key, h, write)
+}
+
+// DirtyPages returns how many resident pages carry unflushed writes: pages
+// admitted or re-touched with write=true and not yet evicted. Eviction
+// models the write-back, so capacity pressure drains the count — the
+// checkpoint/flush signal the monitor tracks as the "pool.dirty" series.
+func (b *BufferPool) DirtyPages() int {
+	total := 0
+	for _, s := range b.shards {
+		total += s.dirtyPages(-1)
+	}
+	return total
+}
+
+// DirtyTablePages returns how many of a table's resident pages are dirty.
+func (b *BufferPool) DirtyTablePages(table int) int {
+	if table < 0 {
+		return 0
+	}
+	total := 0
+	for _, s := range b.shards {
+		total += s.dirtyPages(table)
+	}
+	return total
 }
 
 // HitRatio returns hits/(hits+misses), or 1 when no accesses happened.

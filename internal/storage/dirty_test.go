@@ -1,0 +1,61 @@
+package storage
+
+import "testing"
+
+// TestDirtyPageAccounting: write touches mark pages dirty exactly once,
+// read touches never do, and the counts are visible in total and per table.
+func TestDirtyPageAccounting(t *testing.T) {
+	p := NewShardedBufferPool(64, 1)
+	p.Touch(1, 0, false) // read admission: clean
+	p.Touch(1, 1, true)  // write admission: dirty
+	p.Touch(2, 0, true)
+	p.Touch(2, 0, true) // re-dirtying the same page must not double-count
+	p.Touch(2, 1, false)
+
+	if got := p.DirtyPages(); got != 2 {
+		t.Fatalf("DirtyPages() = %d, want 2", got)
+	}
+	if got := p.DirtyTablePages(1); got != 1 {
+		t.Fatalf("DirtyTablePages(1) = %d, want 1", got)
+	}
+	if got := p.DirtyTablePages(2); got != 1 {
+		t.Fatalf("DirtyTablePages(2) = %d, want 1", got)
+	}
+	// A write hit on a clean resident page dirties it.
+	p.Touch(1, 0, true)
+	if got := p.DirtyTablePages(1); got != 2 {
+		t.Fatalf("after write hit: DirtyTablePages(1) = %d, want 2", got)
+	}
+	if got := p.DirtyTablePages(3); got != 0 {
+		t.Fatalf("DirtyTablePages(3) = %d, want 0", got)
+	}
+	p.Reset()
+	if got := p.DirtyPages(); got != 0 {
+		t.Fatalf("after Reset: DirtyPages() = %d, want 0", got)
+	}
+}
+
+// TestDirtyPageEvictionWritesBack: evicting a dirty page models write-back —
+// the dirty count drops with the residency.
+func TestDirtyPageEvictionWritesBack(t *testing.T) {
+	p := NewShardedBufferPool(4, 1) // tiny single-shard pool, exact LRU
+	for pg := uint32(0); pg < 4; pg++ {
+		p.Touch(1, pg, true)
+	}
+	if got := p.DirtyPages(); got != 4 {
+		t.Fatalf("DirtyPages() = %d, want 4", got)
+	}
+	// Admit 4 clean pages of another table: the dirty ones are evicted LRU.
+	for pg := uint32(0); pg < 4; pg++ {
+		p.Touch(2, pg, false)
+	}
+	if got := p.DirtyPages(); got != 0 {
+		t.Fatalf("after eviction: DirtyPages() = %d, want 0", got)
+	}
+	if got := p.DirtyTablePages(1); got != 0 {
+		t.Fatalf("after eviction: DirtyTablePages(1) = %d, want 0", got)
+	}
+	if got := p.ResidentPages(2); got != 4 {
+		t.Fatalf("ResidentPages(2) = %d, want 4", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"neurdb/internal/rel"
 )
@@ -306,6 +307,71 @@ func (c *Cursor) Next() (RowID, *Version, bool) {
 			return id, head, true
 		}
 	}
+}
+
+// PageHeads copies one page's chain heads into buf (entries may be nil for
+// vacuumed slots; the index is the slot) and returns the head count, or 0
+// for an out-of-range page. It is the random-access counterpart of
+// BatchCursor.NextPage for parallel workers reading morsel page ranges: one
+// RLock acquisition and one buffer-pool touch per call, and because the
+// heads are copied out under the lock, concurrent Vacuum/SetHead slot writes
+// cannot race with the caller.
+func (h *Heap) PageHeads(pageID uint32, buf []*Version) int {
+	h.mu.RLock()
+	if int(pageID) >= len(h.pages) {
+		h.mu.RUnlock()
+		return 0
+	}
+	h.touch(pageID, false)
+	n := copy(buf, h.pages[pageID].chains)
+	h.mu.RUnlock()
+	return n
+}
+
+// MorselSource hands out disjoint page ranges ("morsels") of a heap to
+// concurrent scan workers: each Next is one atomic fetch-add, so claiming is
+// contention-free and every page in the snapshot is claimed exactly once.
+// The page count is snapshotted at creation — pages appended afterwards hold
+// only rows invisible to any snapshot taken before they were committed, which
+// is the same horizon a serial scan observes.
+type MorselSource struct {
+	h     *Heap
+	pages uint32 // page count snapshot
+	size  uint32 // pages per morsel
+	next  atomic.Uint32
+}
+
+// NewMorselSource snapshots the heap's page count and returns a dispatcher
+// carving it into morsels of pagesPerMorsel pages (the final morsel may be
+// short).
+func (h *Heap) NewMorselSource(pagesPerMorsel int) *MorselSource {
+	if pagesPerMorsel < 1 {
+		pagesPerMorsel = 1
+	}
+	h.mu.RLock()
+	pages := uint32(len(h.pages))
+	h.mu.RUnlock()
+	return &MorselSource{h: h, pages: pages, size: uint32(pagesPerMorsel)}
+}
+
+// Morsels returns the total number of morsels the source will hand out.
+func (ms *MorselSource) Morsels() int {
+	return int((ms.pages + ms.size - 1) / ms.size)
+}
+
+// Next claims the next morsel, returning its ordinal and page range
+// [lo, hi), or ok=false once the heap snapshot is exhausted.
+func (ms *MorselSource) Next() (idx int, lo, hi uint32, ok bool) {
+	i := ms.next.Add(1) - 1
+	lo = i * ms.size
+	if lo >= ms.pages {
+		return 0, 0, 0, false
+	}
+	hi = lo + ms.size
+	if hi > ms.pages {
+		hi = ms.pages
+	}
+	return int(i), lo, hi, true
 }
 
 // BatchCursor iterates the heap one page at a time, the storage half of the

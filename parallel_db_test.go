@@ -1,0 +1,202 @@
+package neurdb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"neurdb/internal/executor"
+)
+
+// loadParallelTable creates and fills a table large enough (several times
+// executor.MorselPages worth of heap pages) for queries over it to take the
+// morsel-parallel path.
+func loadParallelTable(t testing.TB, db *DB, rows int) {
+	t.Helper()
+	if _, err := db.Exec(`CREATE TABLE big (id INT PRIMARY KEY, grp INT, val DOUBLE)`); err != nil {
+		t.Fatal(err)
+	}
+	const chunk = 512
+	for base := 0; base < rows; base += chunk {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO big VALUES ")
+		for i := base; i < base+chunk && i < rows; i++ {
+			if i > base {
+				sb.WriteByte(',')
+			}
+			// Values are multiples of 0.5: float sums are exact in any
+			// addition order, so parallel and serial agg compare equal.
+			fmt.Fprintf(&sb, "(%d,%d,%g)", i, i%13, float64(i%200)*0.5)
+		}
+		if _, err := db.Exec(sb.String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSessionWorkersDifferential: the same queries through the public API
+// must return identical results (row order included) at workers=1 and
+// workers=4, driven via Session.SetWorkers and SET workers.
+func TestSessionWorkersDifferential(t *testing.T) {
+	db := Open(DefaultConfig())
+	loadParallelTable(t, db, 12000)
+
+	run := func(workers int, sql string) []string {
+		s := db.NewSession()
+		s.SetWorkers(workers)
+		res, err := s.Exec(sql)
+		if err != nil {
+			t.Fatalf("workers=%d %q: %v", workers, sql, err)
+		}
+		out := make([]string, len(res.Rows))
+		for i, r := range res.Rows {
+			out[i] = r.String()
+		}
+		return out
+	}
+	for _, sql := range []string{
+		`SELECT grp, COUNT(*), SUM(val) FROM big GROUP BY grp`,
+		`SELECT id FROM big WHERE val > 40 ORDER BY val DESC, id LIMIT 100`,
+		`SELECT COUNT(*), MIN(val), MAX(val) FROM big WHERE id >= 2000`,
+	} {
+		serial, par := run(1, sql), run(4, sql)
+		if len(serial) != len(par) {
+			t.Fatalf("%q: %d vs %d rows", sql, len(serial), len(par))
+		}
+		for i := range serial {
+			if serial[i] != par[i] {
+				t.Fatalf("%q row %d: serial %s parallel %s", sql, i, serial[i], par[i])
+			}
+		}
+	}
+
+	// The SQL knob drives the same session override.
+	s := db.NewSession()
+	if _, err := s.Exec(`SET workers = 4`); err != nil {
+		t.Fatal(err)
+	}
+	if s.effectiveWorkers() != 4 {
+		t.Fatalf("SET workers = 4 not applied: %d", s.effectiveWorkers())
+	}
+	if _, err := s.Exec(`SET workers = nope`); err == nil {
+		t.Fatal("SET workers with a non-integer value must error")
+	}
+}
+
+// TestRowsCloseStopsParallelWorkers: closing a streaming cursor mid-stream
+// must terminate the morsel workers and release the read transaction (the
+// vacuum horizon advances past its snapshot).
+func TestRowsCloseStopsParallelWorkers(t *testing.T) {
+	db := Open(DefaultConfig())
+	loadParallelTable(t, db, 12000)
+	s := db.NewSession()
+	s.SetWorkers(4)
+
+	rows, err := s.Query(`SELECT id, grp, val FROM big`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10 && rows.Next(); i++ {
+	}
+	during := db.mgr.OldestActiveTS()
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close joins the worker pool via the iterator teardown.
+	deadline := time.Now().Add(5 * time.Second)
+	for executor.ParallelWorkers() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := executor.ParallelWorkers(); n != 0 {
+		t.Fatalf("%d morsel workers still running after Rows.Close", n)
+	}
+	// The read txn was finalized: a write committed now advances the horizon
+	// past the cursor's snapshot.
+	if _, err := db.Exec(`UPDATE big SET val = 1 WHERE id = 0`); err != nil {
+		t.Fatal(err)
+	}
+	after := db.mgr.OldestActiveTS()
+	if after <= during {
+		t.Fatalf("snapshot horizon did not advance after Close: during=%d after=%d", during, after)
+	}
+}
+
+// TestParallelQueriesUnderConcurrentDML is the -race stress: parallel
+// readers iterating aggregates and joins while writers update, delete, and
+// insert. Readers must never error and every aggregate row count must be
+// consistent with some committed snapshot (at least the unmodified floor).
+func TestParallelQueriesUnderConcurrentDML(t *testing.T) {
+	db := Open(DefaultConfig())
+	loadParallelTable(t, db, 8000)
+
+	stop := make(chan struct{})
+	var writerWG, readerWG sync.WaitGroup
+	errs := make(chan error, 16)
+
+	writerWG.Add(1)
+	go func() { // writer: mixed DML churn
+		defer writerWG.Done()
+		s := db.NewSession()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var err error
+			switch i % 3 {
+			case 0:
+				_, err = s.Exec(`UPDATE big SET val = ? WHERE grp = ?`, float64(i%50), i%13)
+			case 1:
+				_, err = s.Exec(`DELETE FROM big WHERE id = ?`, 4000+i)
+			default:
+				_, err = s.Exec(`INSERT INTO big VALUES (?, ?, ?)`, 100000+i, i%13, 2.5)
+			}
+			if err != nil && !strings.Contains(err.Error(), "conflict") {
+				errs <- fmt.Errorf("writer: %w", err)
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < 3; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			s := db.NewSession()
+			s.SetWorkers(4)
+			for i := 0; i < 30; i++ {
+				res, err := s.Exec(`SELECT grp, COUNT(*) FROM big GROUP BY grp`)
+				if err != nil {
+					errs <- fmt.Errorf("reader agg: %w", err)
+					return
+				}
+				total := int64(0)
+				for _, row := range res.Rows {
+					total += row[1].AsInt()
+				}
+				if total < 7000 { // 8000 seeded minus bounded deletes
+					errs <- fmt.Errorf("reader saw %d rows total", total)
+					return
+				}
+				if _, err := s.Exec(`SELECT COUNT(*) FROM big WHERE val >= 0`); err != nil {
+					errs <- fmt.Errorf("reader filter: %w", err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Readers run to completion under live write traffic, then the writer
+	// is stopped.
+	readerWG.Wait()
+	close(stop)
+	writerWG.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
