@@ -1,0 +1,423 @@
+package client_test
+
+import (
+	"database/sql"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"neurdb"
+	"neurdb/client"
+	"neurdb/internal/server"
+)
+
+func startServer(t *testing.T) (*neurdb.DB, string) {
+	t.Helper()
+	db := neurdb.Open(neurdb.DefaultConfig())
+	srv := server.New(db, server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Shutdown(2 * time.Second) })
+	return db, ln.Addr().String()
+}
+
+// TestDatabaseSQLDriver is the acceptance path: standard database/sql
+// idioms over TCP, with repeated parameterized queries hitting the
+// server's plan cache at >= 0.9.
+func TestDatabaseSQLDriver(t *testing.T) {
+	ndb, addr := startServer(t)
+
+	db, err := sql.Open("neurdb", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// One underlying wire connection keeps the session (and its prepared
+	// statements) stable across the test.
+	db.SetMaxOpenConns(1)
+
+	if err := db.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if _, err := db.Exec(`CREATE TABLE acct (id INT PRIMARY KEY, owner TEXT, balance DOUBLE)`); err != nil {
+		t.Fatal(err)
+	}
+
+	ins, err := db.Prepare(`INSERT INTO acct VALUES (?, ?, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		res, err := ins.Exec(i, fmt.Sprintf("owner%d", i%7), float64(i)*1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n, _ := res.RowsAffected(); n != 1 {
+			t.Fatalf("insert %d affected %d", i, n)
+		}
+	}
+	ins.Close()
+
+	sel, err := db.Prepare(`SELECT balance FROM acct WHERE id = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sel.Close()
+
+	h0, m0 := ndb.PlanCacheStats()
+	for i := 0; i < 100; i++ {
+		var bal float64
+		if err := sel.QueryRow(i).Scan(&bal); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if bal != float64(i)*1.5 {
+			t.Fatalf("balance[%d] = %g", i, bal)
+		}
+	}
+	h1, m1 := ndb.PlanCacheStats()
+	hits, misses := h1-h0, m1-m0
+	if total := hits + misses; total == 0 || float64(hits)/float64(total) < 0.9 {
+		t.Fatalf("plan-cache hit rate %d/%d below 0.9", hits, hits+misses)
+	}
+
+	// NULL round trip.
+	if _, err := db.Exec(`INSERT INTO acct VALUES (?, ?, ?)`, 1000, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var owner, bal any
+	if err := db.QueryRow(`SELECT owner, balance FROM acct WHERE id = ?`, 1000).Scan(&owner, &bal); err != nil {
+		t.Fatal(err)
+	}
+	if owner != nil || bal != nil {
+		t.Fatalf("NULLs scanned as %v, %v", owner, bal)
+	}
+
+	// Transactions through the driver.
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`DELETE FROM acct WHERE id = ?`, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	if err := db.QueryRow(`SELECT id FROM acct WHERE id = ?`, 0).Scan(&n); err != nil {
+		t.Fatalf("row deleted despite rollback: %v", err)
+	}
+
+	tx, err = db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`UPDATE acct SET balance = ? WHERE id = ?`, 99.0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	var bal2 float64
+	if err := db.QueryRow(`SELECT balance FROM acct WHERE id = ?`, 1).Scan(&bal2); err != nil {
+		t.Fatal(err)
+	}
+	if bal2 != 99.0 {
+		t.Fatalf("committed balance = %g", bal2)
+	}
+}
+
+// TestDatabaseSQLInBandColumns covers statements whose columns are only
+// announced in-band (EXPLAIN): the driver must prime the cursor so
+// database/sql sizes its destinations correctly instead of panicking.
+func TestDatabaseSQLInBandColumns(t *testing.T) {
+	_, addr := startServer(t)
+	db, err := sql.Open("neurdb", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE x (id INT PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Query(`EXPLAIN SELECT id FROM x WHERE id = ?`, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 1 || cols[0] != "plan" {
+		t.Fatalf("EXPLAIN columns = %v", cols)
+	}
+	n := 0
+	for rows.Next() {
+		var line string
+		if err := rows.Scan(&line); err != nil {
+			t.Fatal(err)
+		}
+		if line == "" {
+			t.Fatal("empty plan line")
+		}
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("EXPLAIN returned no rows")
+	}
+}
+
+// TestDifferentialWireVsEmbedded runs a query set both embedded
+// (Session.Query) and over the wire (simple and prepared) and requires
+// byte-identical textual results — the correctness contract for the
+// protocol's value encoding and streaming order.
+func TestDifferentialWireVsEmbedded(t *testing.T) {
+	ndb, addr := startServer(t)
+
+	seed := []string{
+		`CREATE TABLE item (id INT PRIMARY KEY, cat TEXT, price DOUBLE, stock INT, active BOOLEAN)`,
+		`CREATE TABLE cat (name TEXT, boost DOUBLE)`,
+		`INSERT INTO cat VALUES ('a',1.5),('b',2.0),('c',0.5),(NULL,0.0)`,
+	}
+	for _, s := range seed {
+		if _, err := ndb.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(`INSERT INTO item VALUES `)
+	for i := 0; i < 1000; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		cat := []string{"'a'", "'b'", "'c'", "NULL"}[i%4]
+		fmt.Fprintf(&sb, "(%d,%s,%g,%d,%v)", i, cat, float64(i)*0.25, i%13, i%2 == 0)
+	}
+	if _, err := ndb.Exec(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ndb.Exec(`ANALYZE`); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		`SELECT id, cat, price, stock, active FROM item WHERE id = 37`,
+		`SELECT id, price FROM item WHERE price >= 200.0 ORDER BY id`,
+		`SELECT cat, COUNT(*), SUM(price), AVG(stock) FROM item GROUP BY cat`,
+		`SELECT id FROM item WHERE active = true ORDER BY price DESC LIMIT 17`,
+		`SELECT item.id, cat.boost FROM item, cat WHERE item.cat = cat.name ORDER BY item.id LIMIT 50`,
+		`SELECT id, stock FROM item WHERE stock > 10 AND price < 100.0 ORDER BY id`,
+		`SELECT MIN(price), MAX(price), COUNT(*) FROM item`,
+		`SELECT id FROM item WHERE cat = 'b' ORDER BY id LIMIT 0`,
+	}
+
+	session := ndb.NewSession()
+	c, err := client.ConnectOptions(addr, client.Options{FetchSize: 64}) // force chunked streaming
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for _, q := range queries {
+		embedded := embeddedResult(t, session, q)
+
+		// Simple protocol.
+		rows, err := c.Query(q)
+		if err != nil {
+			t.Fatalf("wire simple %q: %v", q, err)
+		}
+		if got := wireResult(t, rows); got != embedded {
+			t.Errorf("simple %q:\nwire:     %q\nembedded: %q", q, got, embedded)
+		}
+
+		// Extended protocol with a chunked cursor.
+		st, err := c.Prepare(q)
+		if err != nil {
+			t.Fatalf("prepare %q: %v", q, err)
+		}
+		rows, err = st.Query()
+		if err != nil {
+			t.Fatalf("wire prepared %q: %v", q, err)
+		}
+		if got := wireResult(t, rows); got != embedded {
+			t.Errorf("prepared %q:\nwire:     %q\nembedded: %q", q, got, embedded)
+		}
+		st.Close()
+	}
+}
+
+func embeddedResult(t *testing.T, s *neurdb.Session, q string) string {
+	t.Helper()
+	rows, err := s.Query(q)
+	if err != nil {
+		t.Fatalf("embedded %q: %v", q, err)
+	}
+	defer rows.Close()
+	var sb strings.Builder
+	sb.WriteString(strings.Join(rows.Columns(), "|"))
+	for rows.Next() {
+		sb.WriteByte('\n')
+		sb.WriteString(rows.Row().String())
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("embedded %q: %v", q, err)
+	}
+	return sb.String()
+}
+
+func wireResult(t *testing.T, rows *client.Rows) string {
+	t.Helper()
+	var sb strings.Builder
+	var wroteCols bool
+	for rows.Next() {
+		if !wroteCols {
+			sb.WriteString(strings.Join(rows.Columns(), "|"))
+			wroteCols = true
+		}
+		sb.WriteByte('\n')
+		sb.WriteString(rows.RowText())
+	}
+	if !wroteCols {
+		sb.WriteString(strings.Join(rows.Columns(), "|"))
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestLargeStatementNoLineCeiling pushes a multi-megabyte statement through
+// the wire — the case the old line protocol's 1 MiB scanner cap silently
+// dropped.
+func TestLargeStatementNoLineCeiling(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := client.Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Exec(`CREATE TABLE blob (id INT PRIMARY KEY, body TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	body := strings.Repeat("m", 2<<20) // 2 MiB literal in one statement
+	if _, err := c.Exec(fmt.Sprintf(`INSERT INTO blob VALUES (1,'%s')`, body)); err != nil {
+		t.Fatalf("large insert: %v", err)
+	}
+	rows, err := c.Query(`SELECT body FROM blob WHERE id = ?`, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	for rows.Next() {
+		rows.Scan(&got)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got != body {
+		t.Fatalf("large body corrupted: %d bytes back, want %d", len(got), len(body))
+	}
+}
+
+// TestEarlyCloseAbandonsChunkedResult closes a chunked cursor early: the
+// remaining rows are never transferred, the server portal is closed, and
+// the connection immediately serves the next query.
+func TestEarlyCloseAbandonsChunkedResult(t *testing.T) {
+	ndb, addr := startServer(t)
+	c, err := client.ConnectOptions(addr, client.Options{FetchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Exec(`CREATE TABLE e (id INT PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString(`INSERT INTO e VALUES `)
+	for i := 0; i < 10000; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "(%d)", i)
+	}
+	if _, err := c.Exec(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.Prepare(`SELECT id FROM e`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := st.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !rows.Next() {
+			t.Fatalf("row %d missing: %v", i, rows.Err())
+		}
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The cursor's read transaction must be gone: a full count still works
+	// and sees every row.
+	res, err := c.Exec(`SELECT COUNT(*) FROM e`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 1 {
+		t.Fatalf("count rows = %d", res.Affected)
+	}
+	_ = ndb
+}
+
+// TestConnBusyGuard rejects interleaved use while a cursor is open.
+func TestConnBusyGuard(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := client.ConnectOptions(addr, client.Options{FetchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Exec(`CREATE TABLE b (id INT PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(`INSERT INTO b VALUES (1),(2),(3),(4),(5)`); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Prepare(`SELECT id FROM b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := st.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	if _, err := c.Exec(`SELECT id FROM b`); err == nil {
+		t.Fatal("interleaved Exec over an open cursor did not error")
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(`SELECT id FROM b`); err != nil {
+		t.Fatalf("exec after Close: %v", err)
+	}
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+func readAll(t *testing.T, src string) []string {
+	t.Helper()
+	r := bufio.NewReader(strings.NewReader(src))
+	var out []string
+	for {
+		stmt, err := readStatement(r)
+		if stmt != "" {
+			out = append(out, stmt)
+		}
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("readStatement: %v", err)
+		}
+	}
+}
+
+func TestReadStatementSplitting(t *testing.T) {
+	got := readAll(t, `
+CREATE TABLE t (id INT);
+INSERT INTO t VALUES (1); INSERT INTO t
+  VALUES (2);
+-- a comment; with a semicolon
+SELECT 'a;b''c' FROM t;
+SELECT id FROM t`)
+	want := []string{
+		"CREATE TABLE t (id INT)",
+		"INSERT INTO t VALUES (1)",
+		"INSERT INTO t\n  VALUES (2)",
+		"-- a comment; with a semicolon\nSELECT 'a;b''c' FROM t",
+		"SELECT id FROM t",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d statements, want %d: %q", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("stmt %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestReadStatementNoSizeCeiling is the regression for the old shell's
+// 1 MiB bufio.Scanner cap: a statement far beyond it must come through
+// intact.
+func TestReadStatementNoSizeCeiling(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO blob VALUES ")
+	for i := 0; i < 40000; i++ { // ~3 MiB on one line
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "(%d,'%s')", i, strings.Repeat("x", 64))
+	}
+	stmt := sb.String()
+	got := readAll(t, stmt+";\nSELECT 1 FROM blob;")
+	if len(got) != 2 {
+		t.Fatalf("%d statements, want 2", len(got))
+	}
+	if got[0] != stmt {
+		t.Fatalf("large statement corrupted: %d bytes back, want %d", len(got[0]), len(stmt))
+	}
+}
+
+// TestReadStatementTrailingComment: a script ending in a comment (or a
+// comment-only chunk) yields no statement instead of feeding comment text
+// to the engine.
+func TestReadStatementTrailingComment(t *testing.T) {
+	got := readAll(t, "SELECT 1 FROM t;\n-- trailing comment\n")
+	if len(got) != 1 || got[0] != "SELECT 1 FROM t" {
+		t.Fatalf("got %q", got)
+	}
+	if got := readAll(t, "-- only a comment\n  \n"); len(got) != 0 {
+		t.Fatalf("comment-only input produced statements: %q", got)
+	}
+	// A comment-only piece terminated by ';' is also skipped.
+	got = readAll(t, "-- c\n; SELECT 2 FROM t;")
+	if len(got) != 1 || got[0] != "SELECT 2 FROM t" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestReadStatementBlockComment(t *testing.T) {
+	got := readAll(t, "SELECT id /* c; omment */ FROM t;\n/* only; comment */\nSELECT 2 FROM t;")
+	// The ';' inside each block comment must not split; a leading comment
+	// stays attached to its statement (the engine lexer skips it).
+	want := []string{"SELECT id /* c; omment */ FROM t", "/* only; comment */\nSELECT 2 FROM t"}
+	if len(got) != len(want) {
+		t.Fatalf("%d statements, want %d: %q", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("stmt %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadStatementMetaCommand(t *testing.T) {
+	got := readAll(t, "  \\q\nSELECT 1 FROM t;")
+	if len(got) != 2 || got[0] != `\q` {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestReadStatementQuotedBackslash(t *testing.T) {
+	// A backslash inside a statement is not a meta command.
+	got := readAll(t, `SELECT 'a\q' FROM t;`)
+	if len(got) != 1 || got[0] != `SELECT 'a\q' FROM t` {
+		t.Fatalf("got %q", got)
+	}
+}

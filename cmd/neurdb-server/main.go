@@ -1,90 +1,59 @@
-// neurdb-server serves a NeurDB instance over a line-based TCP protocol:
-// each client sends one SQL statement per line (';' optional) and receives
-// result rows terminated by "OK" or an "ERR <message>" line. SELECT results
-// are streamed: rows are written (and flushed) one executor batch at a
-// time as the cursor produces them, so the server never materializes a full
-// result set per connection.
+// neurdb-server serves a NeurDB instance over the binary wire protocol
+// (docs/PROTOCOL.md): length-prefixed frames carrying Startup, simple Query,
+// and the extended Parse/Bind/Execute sequence against server-side prepared
+// statements, so remote clients share the DB-wide plan cache. SELECT
+// results stream one executor batch per DataBatch frame, flushed at every
+// batch boundary.
+//
+// SIGTERM/SIGINT drain gracefully: the listener closes, in-flight
+// connections get -grace to finish, then stragglers are severed.
 package main
 
 import (
-	"bufio"
 	"flag"
-	"fmt"
 	"log"
 	"net"
-	"strings"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"neurdb"
-	"neurdb/internal/executor"
+	"neurdb/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:5433", "listen address")
+	maxFrame := flag.Int("max-frame", 0, "max frame payload bytes (0 = 16 MiB default)")
+	grace := flag.Duration("grace", 10*time.Second, "shutdown drain window")
+	workers := flag.Int("workers", 0, "intra-query parallelism cap (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	db := neurdb.Open(neurdb.DefaultConfig())
+	cfg := neurdb.DefaultConfig()
+	cfg.Workers = *workers
+	db := neurdb.Open(cfg)
+
+	srv := server.New(db, server.Config{MaxFrame: *maxFrame})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("neurdb-server listening on %s", ln.Addr())
-	for {
-		conn, err := ln.Accept()
+	log.Printf("neurdb-server listening on %s (wire protocol 1.0)", ln.Addr())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case err := <-done:
 		if err != nil {
-			log.Printf("accept: %v", err)
-			return
+			log.Fatal(err)
 		}
-		go serve(db, conn)
+	case sig := <-sigs:
+		log.Printf("received %s, draining connections (up to %s)", sig, *grace)
+		srv.Shutdown(*grace)
+		<-done
+		log.Printf("neurdb-server stopped")
 	}
-}
-
-func serve(db *neurdb.DB, conn net.Conn) {
-	defer conn.Close()
-	session := db.NewSession()
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 1<<20), 1<<20)
-	w := bufio.NewWriter(conn)
-	defer w.Flush()
-	for scanner.Scan() {
-		sql := strings.TrimSuffix(strings.TrimSpace(scanner.Text()), ";")
-		if sql == "" {
-			continue
-		}
-		if err := stream(session, w, sql); err != nil {
-			fmt.Fprintf(w, "ERR %v\n", err)
-		} else {
-			fmt.Fprintln(w, "OK")
-		}
-		w.Flush()
-	}
-}
-
-// stream executes one statement and writes its result incrementally: the
-// column header first, then rows flushed at every executor-batch boundary,
-// then the statement message. The cursor's read transaction stays open only
-// while rows flow.
-func stream(session *neurdb.Session, w *bufio.Writer, sql string) error {
-	rows, err := session.Query(sql)
-	if err != nil {
-		return err
-	}
-	defer rows.Close()
-	if cols := rows.Columns(); len(cols) > 0 {
-		fmt.Fprintln(w, strings.Join(cols, "\t"))
-	}
-	n := 0
-	for rows.Next() {
-		fmt.Fprintln(w, rows.Row().String())
-		n++
-		if n%executor.BatchSize == 0 {
-			w.Flush() // batch boundary: push rows to the client now
-		}
-	}
-	if err := rows.Err(); err != nil {
-		return err
-	}
-	if msg := rows.Message(); msg != "" {
-		fmt.Fprintln(w, msg)
-	}
-	return nil
 }

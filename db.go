@@ -256,6 +256,22 @@ type Session struct {
 // NewSession creates an independent session.
 func (db *DB) NewSession() *Session { return &Session{db: db} }
 
+// Close releases the session, rolling back any open transaction. It exists
+// for connection-scoped owners (the wire server ties one session to each
+// client connection and must not leak a BEGIN whose client vanished); the
+// session must not be used afterwards. Closing a session with no open
+// transaction is a no-op.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	t := s.txn
+	s.txn = nil
+	s.mu.Unlock()
+	if t != nil {
+		s.db.mgr.Abort(t)
+	}
+	return nil
+}
+
 // SetWorkers overrides the intra-query parallelism cap for this session
 // (0 = inherit the DB configuration, 1 = serial). SET workers = n is the
 // SQL form.
@@ -350,7 +366,7 @@ func (s *Session) streamPlan(p plan.Node, cols []string, hasParams bool, args []
 	if err != nil {
 		return nil, done(err)
 	}
-	return newStreamingRows(cols, it, done)
+	return newStreamingRows(cols, p.Schema(), it, done)
 }
 
 // level returns the configured isolation level.

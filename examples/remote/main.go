@@ -1,0 +1,114 @@
+// The remote example shows NeurDB as a networked server: it boots a wire-
+// protocol server in-process on a loopback port, then drives it two ways —
+// with the native client package (Connect / Prepare / streaming Rows) and
+// with the standard database/sql interface (sql.Open("neurdb", addr)).
+// Server-side prepared statements share the engine's plan cache, so the
+// repeated parameterized queries below plan once and bind per call.
+package main
+
+import (
+	"database/sql"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"neurdb"
+	"neurdb/client"
+	"neurdb/internal/server"
+)
+
+func main() {
+	// Boot an in-process server; a real deployment runs cmd/neurdb-server.
+	db := neurdb.Open(neurdb.DefaultConfig())
+	srv := server.New(db, server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown(2 * time.Second)
+	addr := ln.Addr().String()
+	fmt.Printf("server on %s\n\n", addr)
+
+	// --- Native client: prepared statements + streaming rows.
+	conn, err := client.Connect(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	must(conn.Exec(`CREATE TABLE sensor (id INT PRIMARY KEY, site TEXT, temp DOUBLE)`))
+
+	ins, err := conn.Prepare(`INSERT INTO sensor VALUES (?, ?, ?)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sites := []string{"north", "south", "east", "west"}
+	for i := 0; i < 400; i++ {
+		if _, err := ins.Exec(i, sites[i%len(sites)], 15.0+float64(i%120)*0.25); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ins.Close()
+
+	sel, err := conn.Prepare(`SELECT id, temp FROM sensor WHERE site = ? AND temp > ? ORDER BY id LIMIT 5`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, site := range sites {
+		rows, err := sel.Query(site, 40.0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("hot sensors at %s:\n", site)
+		for rows.Next() {
+			var id int64
+			var temp float64
+			if err := rows.Scan(&id, &temp); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  #%d %.2f°C\n", id, temp)
+		}
+		if err := rows.Err(); err != nil {
+			log.Fatal(err)
+		}
+		rows.Close()
+	}
+	sel.Close()
+
+	// --- database/sql: the same server through standard Go idioms.
+	sdb, err := sql.Open("neurdb", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sdb.Close()
+
+	avg, err := sdb.Prepare(`SELECT AVG(temp), COUNT(*) FROM sensor WHERE site = ?`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer avg.Close()
+	fmt.Println("\nper-site averages via database/sql:")
+	for _, site := range sites {
+		var mean float64
+		var n int64
+		if err := avg.QueryRow(site).Scan(&mean, &n); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6s %.3f°C over %d readings\n", site, mean, n)
+	}
+
+	// The repeated prepared executions above shared one cached plan per
+	// statement shape.
+	hits, misses := db.PlanCacheStats()
+	fmt.Printf("\nplan cache: %d hits / %d misses (hit rate %.3f)\n",
+		hits, misses, float64(hits)/float64(hits+misses))
+}
+
+func must(res *client.Result, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = res
+}

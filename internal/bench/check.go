@@ -23,6 +23,7 @@ type Expectations struct {
 	Table1   *Table1Expectations   `json:"table1,omitempty"`
 	Prepared *PreparedExpectations `json:"prepared,omitempty"`
 	Parallel *ParallelExpectations `json:"parallel,omitempty"`
+	Wire     *WireExpectations     `json:"wire,omitempty"`
 }
 
 // Fig6aExpectations gates the end-to-end AI-analytics comparison.
@@ -84,6 +85,18 @@ type ParallelExpectations struct {
 	// MinJoinSpeedup4 is the floor for the hash-join pipeline (0 = not
 	// gated).
 	MinJoinSpeedup4 float64 `json:"min_join_speedup4"`
+}
+
+// WireExpectations gates the remote-protocol throughput comparison.
+type WireExpectations struct {
+	// MinSpeedup is the floor on simple/prepared ns-per-op over the wire:
+	// both paths pay the same loopback round trip, so the floor is
+	// conservative, but Parse/Bind/Execute must stay measurably ahead of
+	// per-call reparse or wire plan reuse has broken.
+	MinSpeedup float64 `json:"min_speedup"`
+	// MinCacheHitRate is the floor on the server plan-cache hit rate while
+	// the prepared path runs.
+	MinCacheHitRate float64 `json:"min_cache_hit_rate"`
 }
 
 // LoadExpectations reads an expectations file.
@@ -157,6 +170,16 @@ func (e *Expectations) Check(results map[string]any) []string {
 			}
 			if e.Prepared.MinCacheHitRate > 0 && res.CacheHitRate < e.Prepared.MinCacheHitRate {
 				fail("prepared: plan-cache hit rate %.3f below floor %.3f", res.CacheHitRate, e.Prepared.MinCacheHitRate)
+			}
+		}
+	}
+	if e.Wire != nil {
+		if res, ok := results["wire"].(*WireResult); ok {
+			if res.Speedup < e.Wire.MinSpeedup {
+				fail("wire: prepared-vs-simple speedup %.3f below floor %.3f", res.Speedup, e.Wire.MinSpeedup)
+			}
+			if e.Wire.MinCacheHitRate > 0 && res.CacheHitRate < e.Wire.MinCacheHitRate {
+				fail("wire: plan-cache hit rate %.3f below floor %.3f", res.CacheHitRate, e.Wire.MinCacheHitRate)
 			}
 		}
 	}

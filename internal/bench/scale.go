@@ -39,6 +39,12 @@ type Scale struct {
 	// PreparedIters is the per-path execution count.
 	PreparedIters int
 
+	// --- Wire-protocol throughput (remote client API) ---
+	// WireIters is the per-path execution count for the loopback
+	// prepared-vs-simple-vs-line comparison (table size reuses
+	// PreparedRows).
+	WireIters int
+
 	// --- Morsel-driven parallel scaling ---
 	// ParallelRows is the big-table size for the worker-scaling runs (must
 	// span many morsels: 16-page morsels hold 2048 rows each).
@@ -72,6 +78,8 @@ func DefaultScale() Scale {
 		PreparedRows:  20_000,
 		PreparedIters: 3_000,
 
+		WireIters: 2_000,
+
 		ParallelRows:  150_000,
 		ParallelIters: 8,
 
@@ -97,6 +105,8 @@ func FullScale() Scale {
 
 		PreparedRows:  200_000,
 		PreparedIters: 30_000,
+
+		WireIters: 20_000,
 
 		ParallelRows:  1_000_000,
 		ParallelIters: 20,

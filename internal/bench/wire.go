@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"neurdb"
+	"neurdb/client"
+	"neurdb/internal/server"
+)
+
+// WireResult compares three remote execution paths for an indexed point
+// SELECT over loopback TCP:
+//
+//   - prepared-over-wire: Parse once, then Bind/Execute per call — the
+//     extended protocol reusing the server's plan cache;
+//   - simple-over-wire: a Query message per call — the server re-parses and
+//     re-plans every time;
+//   - line protocol: the pre-PR5 text protocol (one SQL line in, tab rows
+//     out), re-parsing per call and string-formatting every value.
+//
+// All three pay the same loopback round trip, so the deltas isolate the
+// protocol and plan-reuse costs the wire redesign removes.
+type WireResult struct {
+	Rows  int // table size
+	Iters int // executions per path
+
+	PreparedNsPerOp float64
+	SimpleNsPerOp   float64
+	LineNsPerOp     float64
+
+	// Speedup is simple/prepared (>1 = extended protocol wins); the CI
+	// gate's floor applies to it.
+	Speedup float64
+	// LineSpeedup is line/prepared (recorded, not gated: it bundles
+	// formatting and protocol differences).
+	LineSpeedup float64
+	// CacheHitRate is the server plan-cache hit rate during the prepared
+	// run.
+	CacheHitRate float64
+}
+
+// RunWire loads a keyed table, serves it over loopback with both the wire
+// server and a minimal replica of the old line protocol, and measures the
+// three client paths.
+func RunWire(sc Scale) (*WireResult, error) {
+	db := neurdb.Open(neurdb.DefaultConfig())
+	if _, err := db.Exec(`CREATE TABLE kv (id INT PRIMARY KEY, grp INT, val DOUBLE)`); err != nil {
+		return nil, err
+	}
+	const chunk = 512
+	for base := 0; base < sc.PreparedRows; base += chunk {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO kv VALUES ")
+		for i := base; i < base+chunk && i < sc.PreparedRows; i++ {
+			if i > base {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "(%d,%d,%g)", i, i%97, float64(i)*0.5)
+		}
+		if _, err := db.Exec(sb.String()); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := db.Exec(`ANALYZE kv`); err != nil {
+		return nil, err
+	}
+
+	// Wire server.
+	srv := server.New(db, server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown(2 * time.Second)
+
+	// Line-protocol server (the old text protocol, kept here as the bench
+	// baseline).
+	lineLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer lineLn.Close()
+	go serveLineProtocol(db, lineLn)
+
+	conn, err := client.Connect(ln.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	// Prepared-over-wire: plan compiled once server-side; each call is one
+	// Bind/Execute round trip.
+	stmt, err := conn.Prepare(`SELECT val FROM kv WHERE id = ?`)
+	if err != nil {
+		return nil, err
+	}
+	prepared := func(i int) error {
+		res, err := stmt.Exec(i % sc.PreparedRows)
+		if err != nil {
+			return err
+		}
+		if res.Affected != 1 {
+			return fmt.Errorf("bench: prepared point select returned %d rows", res.Affected)
+		}
+		return nil
+	}
+
+	// Simple-over-wire: one Query message per call; the server parses and
+	// plans each time.
+	simple := func(i int) error {
+		res, err := conn.Exec(fmt.Sprintf(`SELECT val FROM kv WHERE id = %d`, i%sc.PreparedRows))
+		if err != nil {
+			return err
+		}
+		if res.Affected != 1 {
+			return fmt.Errorf("bench: simple point select returned %d rows", res.Affected)
+		}
+		return nil
+	}
+
+	// Line protocol: newline-framed SQL in, text rows + OK out.
+	lineConn, err := net.Dial("tcp", lineLn.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	defer lineConn.Close()
+	lineR := bufio.NewReader(lineConn)
+	line := func(i int) error {
+		if _, err := fmt.Fprintf(lineConn, "SELECT val FROM kv WHERE id = %d\n", i%sc.PreparedRows); err != nil {
+			return err
+		}
+		rows := -1 // header line
+		for {
+			l, err := lineR.ReadString('\n')
+			if err != nil {
+				return err
+			}
+			l = strings.TrimRight(l, "\n")
+			if l == "OK" {
+				if rows != 1 {
+					return fmt.Errorf("bench: line point select returned %d rows", rows)
+				}
+				return nil
+			}
+			if strings.HasPrefix(l, "ERR ") {
+				return fmt.Errorf("bench: line protocol: %s", l)
+			}
+			rows++
+		}
+	}
+
+	measure := func(f func(int) error) (float64, error) {
+		for i := 0; i < sc.WireIters/10+1; i++ { // warmup
+			if err := f(i); err != nil {
+				return 0, err
+			}
+		}
+		start := time.Now()
+		for i := 0; i < sc.WireIters; i++ {
+			if err := f(i); err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(sc.WireIters), nil
+	}
+
+	res := &WireResult{Rows: sc.PreparedRows, Iters: sc.WireIters}
+	if res.LineNsPerOp, err = measure(line); err != nil {
+		return nil, err
+	}
+	if res.SimpleNsPerOp, err = measure(simple); err != nil {
+		return nil, err
+	}
+	h0, m0 := db.PlanCacheStats()
+	if res.PreparedNsPerOp, err = measure(prepared); err != nil {
+		return nil, err
+	}
+	h1, m1 := db.PlanCacheStats()
+	if lookups := (h1 - h0) + (m1 - m0); lookups > 0 {
+		res.CacheHitRate = float64(h1-h0) / float64(lookups)
+	}
+	if res.PreparedNsPerOp > 0 {
+		res.Speedup = res.SimpleNsPerOp / res.PreparedNsPerOp
+		res.LineSpeedup = res.LineNsPerOp / res.PreparedNsPerOp
+	}
+	return res, nil
+}
+
+// serveLineProtocol replicates the pre-PR5 text server: one SQL statement
+// per line, rows as tab-joined text, "OK"/"ERR" terminators.
+func serveLineProtocol(db *neurdb.DB, ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			session := db.NewSession()
+			defer session.Close()
+			scanner := bufio.NewScanner(conn)
+			scanner.Buffer(make([]byte, 1<<20), 1<<20)
+			w := bufio.NewWriter(conn)
+			for scanner.Scan() {
+				sql := strings.TrimSuffix(strings.TrimSpace(scanner.Text()), ";")
+				if sql == "" {
+					continue
+				}
+				if err := lineStream(session, w, sql); err != nil {
+					fmt.Fprintf(w, "ERR %v\n", err)
+				} else {
+					fmt.Fprintln(w, "OK")
+				}
+				w.Flush()
+			}
+		}(conn)
+	}
+}
+
+func lineStream(session *neurdb.Session, w *bufio.Writer, sql string) error {
+	rows, err := session.Query(sql)
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	if cols := rows.Columns(); len(cols) > 0 {
+		fmt.Fprintln(w, strings.Join(cols, "\t"))
+	}
+	for rows.Next() {
+		fmt.Fprintln(w, rows.Row().String())
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	if msg := rows.Message(); msg != "" {
+		fmt.Fprintln(w, msg)
+	}
+	return nil
+}
+
+// RenderWire prints the comparison.
+func RenderWire(r *WireResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "wire-protocol throughput (remote point SELECT over %d rows, %d iters, loopback TCP)\n", r.Rows, r.Iters)
+	fmt.Fprintf(&sb, "  %-28s %12s %14s\n", "path", "ns/op", "ops/sec")
+	fmt.Fprintf(&sb, "  %-28s %12.0f %14.0f\n", "line protocol (pre-PR5)", r.LineNsPerOp, 1e9/r.LineNsPerOp)
+	fmt.Fprintf(&sb, "  %-28s %12.0f %14.0f\n", "wire simple Query", r.SimpleNsPerOp, 1e9/r.SimpleNsPerOp)
+	fmt.Fprintf(&sb, "  %-28s %12.0f %14.0f\n", "wire Parse/Bind/Execute", r.PreparedNsPerOp, 1e9/r.PreparedNsPerOp)
+	fmt.Fprintf(&sb, "  prepared vs simple %.2fx, vs line %.2fx, plan-cache hit rate %.3f\n",
+		r.Speedup, r.LineSpeedup, r.CacheHitRate)
+	return sb.String()
+}

@@ -9,6 +9,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Type identifies the type of a Value.
@@ -68,6 +69,60 @@ func Bool(v bool) Value { return Value{Typ: TypeBool, B: v} }
 
 // IsNull reports whether v is NULL.
 func (v Value) IsNull() bool { return v.Typ == TypeNull }
+
+// FromGo converts a native Go value into an engine Value — the single
+// parameter-conversion table shared by the embedded client API and the wire
+// driver, so the same Go program binds identically in-process and over TCP.
+// []byte and time.Time arrive as TEXT (RFC 3339 for times); unsigned values
+// that overflow int64 are rejected rather than wrapped.
+func FromGo(a any) (Value, error) {
+	switch v := a.(type) {
+	case nil:
+		return Null(), nil
+	case Value:
+		return v, nil
+	case int:
+		return Int(int64(v)), nil
+	case int8:
+		return Int(int64(v)), nil
+	case int16:
+		return Int(int64(v)), nil
+	case int32:
+		return Int(int64(v)), nil
+	case int64:
+		return Int(v), nil
+	case uint:
+		if uint64(v) > math.MaxInt64 {
+			return Value{}, fmt.Errorf("uint parameter %d overflows int64", v)
+		}
+		return Int(int64(v)), nil
+	case uint8:
+		return Int(int64(v)), nil
+	case uint16:
+		return Int(int64(v)), nil
+	case uint32:
+		return Int(int64(v)), nil
+	case uint64:
+		if v > math.MaxInt64 {
+			return Value{}, fmt.Errorf("uint64 parameter %d overflows int64", v)
+		}
+		return Int(int64(v)), nil
+	case float32:
+		return Float(float64(v)), nil
+	case float64:
+		return Float(v), nil
+	case string:
+		return Text(v), nil
+	case []byte:
+		return Text(string(v)), nil
+	case bool:
+		return Bool(v), nil
+	case time.Time:
+		return Text(v.Format(time.RFC3339Nano)), nil
+	default:
+		return Value{}, fmt.Errorf("unsupported parameter type %T", a)
+	}
+}
 
 // AsFloat converts numeric and boolean values to float64; text parses if
 // possible. It is the canonical featurization path for AI operators.
@@ -130,6 +185,54 @@ func (v Value) AsBool() bool {
 	default:
 		return false
 	}
+}
+
+// GoValue returns the value's native Go representation (nil, int64,
+// float64, string or bool) — the inverse of FromGo for scan results.
+func (v Value) GoValue() any {
+	switch v.Typ {
+	case TypeInt:
+		return v.I
+	case TypeFloat:
+		return v.F
+	case TypeText:
+		return v.S
+	case TypeBool:
+		return v.B
+	default:
+		return nil
+	}
+}
+
+// Assign copies the value into a Scan target — the single conversion table
+// shared by the embedded cursor and the wire client, so Scan behaves
+// identically in-process and over TCP. Supported targets: *Value, *any,
+// *int, *int64, *float64, *string, *bool. SQL NULL assigns the target's
+// zero value (nil for *any).
+func Assign(dest any, v Value) error {
+	switch d := dest.(type) {
+	case *Value:
+		*d = v
+	case *any:
+		*d = v.GoValue()
+	case *int64:
+		*d = v.AsInt()
+	case *int:
+		*d = int(v.AsInt())
+	case *float64:
+		*d = v.AsFloat()
+	case *string:
+		if v.IsNull() {
+			*d = ""
+		} else {
+			*d = v.String()
+		}
+	case *bool:
+		*d = v.AsBool()
+	default:
+		return fmt.Errorf("unsupported Scan target %T", dest)
+	}
+	return nil
 }
 
 // String renders the value the way the CLI prints it.

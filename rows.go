@@ -2,7 +2,6 @@ package neurdb
 
 import (
 	"fmt"
-	"math"
 
 	"neurdb/internal/executor"
 	"neurdb/internal/rel"
@@ -30,7 +29,8 @@ import (
 //
 // A Rows is not safe for concurrent use.
 type Rows struct {
-	cols []string
+	cols   []string
+	schema *rel.Schema // result schema for streamed SELECTs; nil for materialized results
 
 	// Streaming state (SELECT): it pulls batches, done finalizes the read
 	// transaction. Both are nil once the stream is finished.
@@ -51,7 +51,7 @@ type Rows struct {
 
 // newStreamingRows opens the iterator and wraps it as a cursor. On error
 // the read transaction is finalized before returning.
-func newStreamingRows(cols []string, it executor.BatchIter, done func(error) error) (*Rows, error) {
+func newStreamingRows(cols []string, schema *rel.Schema, it executor.BatchIter, done func(error) error) (*Rows, error) {
 	if err := it.Open(); err != nil {
 		it.Close()
 		return nil, done(err)
@@ -59,7 +59,7 @@ func newStreamingRows(cols []string, it executor.BatchIter, done func(error) err
 	// The batch starts empty and grows toward executor.BatchSize on demand:
 	// point lookups (the prepared-statement hot path) then pay for one or
 	// two rows instead of a full-size batch allocation per execution.
-	return &Rows{cols: cols, it: it, done: done, batch: rel.NewBatch(0)}, nil
+	return &Rows{cols: cols, schema: schema, it: it, done: done, batch: rel.NewBatch(0)}, nil
 }
 
 // newStaticRows wraps a materialized result as a cursor.
@@ -69,6 +69,12 @@ func newStaticRows(res *Result) *Rows {
 
 // Columns returns the result column names.
 func (r *Rows) Columns() []string { return r.cols }
+
+// Schema returns the typed result schema for a streamed SELECT, or nil for
+// materialized results (DML, DDL, EXPLAIN, PREDICT), whose column types are
+// carried by the values themselves. The wire server uses it to emit
+// RowDescription type hints.
+func (r *Rows) Schema() *rel.Schema { return r.schema }
 
 // Message returns the statement message for non-streaming statements
 // ("INSERT 3", "CREATE TABLE", ...); empty for streamed SELECTs.
@@ -195,88 +201,21 @@ func (r *Rows) drain() (*Result, error) {
 	return &Result{Columns: r.cols, Rows: rows, Affected: r.affected, Message: r.msg}, nil
 }
 
-// assignValue converts one column value into a Scan target.
+// assignValue converts one column value into a Scan target through the
+// conversion table shared with the wire client (rel.Assign).
 func assignValue(dest any, v rel.Value) error {
-	switch d := dest.(type) {
-	case *rel.Value:
-		*d = v
-	case *any:
-		switch v.Typ {
-		case rel.TypeNull:
-			*d = nil
-		case rel.TypeInt:
-			*d = v.I
-		case rel.TypeFloat:
-			*d = v.F
-		case rel.TypeText:
-			*d = v.S
-		case rel.TypeBool:
-			*d = v.B
-		}
-	case *int64:
-		*d = v.AsInt()
-	case *int:
-		*d = int(v.AsInt())
-	case *float64:
-		*d = v.AsFloat()
-	case *string:
-		if v.IsNull() {
-			*d = ""
-		} else {
-			*d = v.String()
-		}
-	case *bool:
-		*d = v.AsBool()
-	default:
-		return fmt.Errorf("unsupported Scan target %T", dest)
-	}
-	return nil
+	return rel.Assign(dest, v)
 }
 
 // toValue converts a Go value into an engine value for parameter binding.
+// The conversion table (rel.FromGo) is shared with the wire client so the
+// same arguments bind identically embedded and remote.
 func toValue(a any) (rel.Value, error) {
-	switch v := a.(type) {
-	case nil:
-		return rel.Null(), nil
-	case rel.Value:
-		return v, nil
-	case int:
-		return rel.Int(int64(v)), nil
-	case int8:
-		return rel.Int(int64(v)), nil
-	case int16:
-		return rel.Int(int64(v)), nil
-	case int32:
-		return rel.Int(int64(v)), nil
-	case int64:
-		return rel.Int(v), nil
-	case uint:
-		if uint64(v) > math.MaxInt64 {
-			return rel.Value{}, fmt.Errorf("neurdb: uint parameter %d overflows int64", v)
-		}
-		return rel.Int(int64(v)), nil
-	case uint8:
-		return rel.Int(int64(v)), nil
-	case uint16:
-		return rel.Int(int64(v)), nil
-	case uint32:
-		return rel.Int(int64(v)), nil
-	case uint64:
-		if v > math.MaxInt64 {
-			return rel.Value{}, fmt.Errorf("neurdb: uint64 parameter %d overflows int64", v)
-		}
-		return rel.Int(int64(v)), nil
-	case float32:
-		return rel.Float(float64(v)), nil
-	case float64:
-		return rel.Float(v), nil
-	case string:
-		return rel.Text(v), nil
-	case bool:
-		return rel.Bool(v), nil
-	default:
-		return rel.Value{}, fmt.Errorf("neurdb: unsupported parameter type %T", a)
+	v, err := rel.FromGo(a)
+	if err != nil {
+		return rel.Value{}, fmt.Errorf("neurdb: %w", err)
 	}
+	return v, nil
 }
 
 // convertArgs validates the argument count against the statement's

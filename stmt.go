@@ -55,6 +55,38 @@ func (s *Session) Prepare(sql string) (*Stmt, error) {
 // NumParams returns the number of parameters the statement takes.
 func (st *Stmt) NumParams() int { return st.nParams }
 
+// IsSelect reports whether the statement streams result rows (a SELECT).
+func (st *Stmt) IsSelect() bool { return st.sel != nil }
+
+// ResultSchema returns the typed result schema of a prepared SELECT,
+// revalidating the cached plan against the catalog first (DDL can change
+// the shape). Non-SELECT statements return nil: their result metadata is
+// not known until execution. The wire server's Describe message is backed
+// by this.
+func (st *Stmt) ResultSchema() (*rel.Schema, error) {
+	if st.sel == nil {
+		return nil, nil
+	}
+	e, err := st.plan()
+	if err != nil {
+		return nil, err
+	}
+	return e.node.Schema(), nil
+}
+
+// Columns returns the result column names of a prepared SELECT (nil for
+// non-SELECT statements).
+func (st *Stmt) Columns() ([]string, error) {
+	if st.sel == nil {
+		return nil, nil
+	}
+	e, err := st.plan()
+	if err != nil {
+		return nil, err
+	}
+	return e.columns, nil
+}
+
 // Query executes the statement with the given arguments and returns a
 // streaming cursor (see Rows). Non-SELECT statements execute eagerly and
 // come back as a materialized cursor carrying Message/Affected.
