@@ -36,6 +36,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"neurdb/internal/aiengine"
 	"neurdb/internal/catalog"
@@ -107,9 +108,14 @@ type DB struct {
 	// learned optimizer state (lazily trained by callers via LearnedQO).
 	learnedQO *learnedopt.Model
 
-	// plans caches compiled SELECT plans for prepared statements, shared
-	// across sessions and invalidated by the catalog version.
+	// plans caches compiled SELECT plans, shared across sessions and
+	// invalidated by the catalog version. Prepared statements and ad-hoc
+	// Session.Exec/Query SELECTs share the same (mode, SQL) key space.
 	plans *planCache
+
+	// stripeWaitSeen tracks the last txn.stripe_wait counter observed by
+	// the monitor, so each write statement reports only its delta.
+	stripeWaitSeen atomic.Uint64
 
 	session *Session // implicit session for autocommit Exec
 }
@@ -343,14 +349,25 @@ func (s *Session) queryStmt(stmt sqlparse.Stmt, args []rel.Value) (*Rows, error)
 	return newStaticRows(res), nil
 }
 
-// querySelect plans a SELECT (outside the plan cache; prepared statements
-// go through cachedPlan instead) and opens a streaming cursor over it.
+// querySelect resolves a SELECT through the shared plan cache — ad-hoc
+// Session.Exec/Query statements hit the same (optimizer mode, SQL text)
+// entries prepared statements populate, so a repeated ad-hoc statement pays
+// binding and planning once per catalog version — and opens a streaming
+// cursor over the compiled plan.
 func (s *Session) querySelect(sel *sqlparse.Select, args []rel.Value) (*Rows, error) {
-	p, err := s.db.PlanSelect(sel)
+	if sel.Text == "" {
+		// Programmatically built AST with no source text: plan uncached.
+		p, err := s.db.PlanSelect(sel)
+		if err != nil {
+			return nil, err
+		}
+		return s.streamPlan(p, p.Schema().Names(), len(args) > 0, args)
+	}
+	e, err := s.db.cachedPlan(sel.Text, sel)
 	if err != nil {
 		return nil, err
 	}
-	return s.streamPlan(p, p.Schema().Names(), len(args) > 0, args)
+	return s.streamPlan(e.node, e.columns, e.hasParams, args)
 }
 
 // streamPlan begins (or joins) the session's read transaction, binds
@@ -533,7 +550,7 @@ func (s *Session) execInsert(ins *sqlparse.Insert, args []rel.Value) (*Result, e
 	if err := done(execErr); err != nil {
 		return nil, err
 	}
-	s.observeDirty()
+	s.observeWrite(ctx)
 	return &Result{Affected: len(rows), Message: fmt.Sprintf("INSERT %d", len(rows))}, nil
 }
 
@@ -671,12 +688,12 @@ func (s *Session) execUpdate(up *sqlparse.Update, args []rel.Value) (*Result, er
 		set[ci] = rel.SubstParams(bound, args)
 	}
 	tx, done := s.begin(false)
-	ctx := &executor.Ctx{Mgr: s.db.mgr, Txn: tx, Cat: s.db.cat}
+	ctx := &executor.Ctx{Mgr: s.db.mgr, Txn: tx, Cat: s.db.cat, Workers: s.effectiveWorkers()}
 	n, execErr := executor.UpdateWhere(ctx, tbl, set, where)
 	if err := done(execErr); err != nil {
 		return nil, err
 	}
-	s.observeDirty()
+	s.observeWrite(ctx)
 	return &Result{Affected: n, Message: fmt.Sprintf("UPDATE %d", n)}, nil
 }
 
@@ -691,20 +708,31 @@ func (s *Session) execDelete(del *sqlparse.Delete, args []rel.Value) (*Result, e
 	}
 	where = rel.SubstParams(where, args)
 	tx, done := s.begin(false)
-	ctx := &executor.Ctx{Mgr: s.db.mgr, Txn: tx, Cat: s.db.cat}
+	ctx := &executor.Ctx{Mgr: s.db.mgr, Txn: tx, Cat: s.db.cat, Workers: s.effectiveWorkers()}
 	n, execErr := executor.DeleteWhere(ctx, tbl, where)
 	if err := done(execErr); err != nil {
 		return nil, err
 	}
-	s.observeDirty()
+	s.observeWrite(ctx)
 	return &Result{Affected: n, Message: fmt.Sprintf("DELETE %d", n)}, nil
 }
 
-// observeDirty feeds the buffer pool's dirty-page count to the monitor
-// after a write statement — the "pool.dirty" series the checkpoint/flush
-// drift detectors watch.
-func (s *Session) observeDirty() {
+// observeWrite feeds the monitor after a write statement: the buffer pool's
+// dirty-page count ("pool.dirty", watched by the checkpoint/flush drift
+// detectors), the claim-stripe contention delta since the last observation
+// ("txn.stripe_wait"), and — when the statement rode the morsel-parallel
+// write path — the page count it dispatched ("dml.parallel_pages").
+func (s *Session) observeWrite(ctx *executor.Ctx) {
 	s.db.tracker.Observe("pool.dirty", float64(s.db.pool.DirtyPages()))
+	_, waits := s.db.mgr.StripeStats()
+	// Swap-then-compare tolerates racing sessions: a stale read at worst
+	// attributes the delta to the other session's observation, never twice.
+	if seen := s.db.stripeWaitSeen.Swap(waits); waits > seen {
+		s.db.tracker.Count("txn.stripe_wait", float64(waits-seen))
+	}
+	if ctx.DMLParallelPages > 0 {
+		s.db.tracker.Count("dml.parallel_pages", float64(ctx.DMLParallelPages))
+	}
 }
 
 // bindTableExpr binds a parsed expression against a single table's schema

@@ -23,7 +23,10 @@ type Expectations struct {
 	Table1   *Table1Expectations   `json:"table1,omitempty"`
 	Prepared *PreparedExpectations `json:"prepared,omitempty"`
 	Parallel *ParallelExpectations `json:"parallel,omitempty"`
-	Wire     *WireExpectations     `json:"wire,omitempty"`
+	// ParallelDML gates write-path scaling under the "parallel-dml"
+	// experiment key.
+	ParallelDML *ParallelDMLExpectations `json:"parallel_dml,omitempty"`
+	Wire        *WireExpectations        `json:"wire,omitempty"`
 }
 
 // Fig6aExpectations gates the end-to-end AI-analytics comparison.
@@ -85,6 +88,19 @@ type ParallelExpectations struct {
 	// MinJoinSpeedup4 is the floor for the hash-join pipeline (0 = not
 	// gated).
 	MinJoinSpeedup4 float64 `json:"min_join_speedup4"`
+}
+
+// ParallelDMLExpectations gates morsel-parallel DML scaling. As with the
+// read-side parallel gate, the floors only apply when the measured host had
+// >= 4 procs: on fewer procs 4 workers time-slice and there is no speedup
+// to gate.
+type ParallelDMLExpectations struct {
+	// MinUpdateSpeedup4 is the floor on t(1 worker)/t(4 workers) for the
+	// 75%-of-table UPDATE statement.
+	MinUpdateSpeedup4 float64 `json:"min_update_speedup4"`
+	// MinDeleteSpeedup4 is the floor for the 25%-of-table DELETE statement
+	// (0 = not gated).
+	MinDeleteSpeedup4 float64 `json:"min_delete_speedup4"`
 }
 
 // WireExpectations gates the remote-protocol throughput comparison.
@@ -194,6 +210,19 @@ func (e *Expectations) Check(results map[string]any) []string {
 			if e.Parallel.MinJoinSpeedup4 > 0 && res.JoinSpeedup4 < e.Parallel.MinJoinSpeedup4 {
 				fail("parallel: join speedup at 4 workers %.3f below floor %.3f",
 					res.JoinSpeedup4, e.Parallel.MinJoinSpeedup4)
+			}
+		}
+	}
+	if e.ParallelDML != nil {
+		// Same proc guard as the read-side parallel gate.
+		if res, ok := results["parallel-dml"].(*ParallelDMLResult); ok && res.MaxProcs >= 4 {
+			if e.ParallelDML.MinUpdateSpeedup4 > 0 && res.UpdateSpeedup4 < e.ParallelDML.MinUpdateSpeedup4 {
+				fail("parallel-dml: update speedup at 4 workers %.3f below floor %.3f",
+					res.UpdateSpeedup4, e.ParallelDML.MinUpdateSpeedup4)
+			}
+			if e.ParallelDML.MinDeleteSpeedup4 > 0 && res.DeleteSpeedup4 < e.ParallelDML.MinDeleteSpeedup4 {
+				fail("parallel-dml: delete speedup at 4 workers %.3f below floor %.3f",
+					res.DeleteSpeedup4, e.ParallelDML.MinDeleteSpeedup4)
 			}
 		}
 	}

@@ -51,6 +51,10 @@ type Scale struct {
 	ParallelRows int
 	// ParallelIters is the per-worker-count execution count.
 	ParallelIters int
+	// ParallelDMLIters is the per-worker-count mixed UPDATE/DELETE/INSERT
+	// cycle count for the write-path scaling run (table size reuses
+	// ParallelRows).
+	ParallelDMLIters int
 
 	// --- Fig 8 (learned QO) ---
 	// StatsScale multiplies the STATS table sizes (1 ≈ 36k rows total).
@@ -80,8 +84,9 @@ func DefaultScale() Scale {
 
 		WireIters: 2_000,
 
-		ParallelRows:  150_000,
-		ParallelIters: 8,
+		ParallelRows:     150_000,
+		ParallelIters:    8,
+		ParallelDMLIters: 5,
 
 		StatsScale:    1,
 		QORepeats:     2,
@@ -108,8 +113,9 @@ func FullScale() Scale {
 
 		WireIters: 20_000,
 
-		ParallelRows:  1_000_000,
-		ParallelIters: 20,
+		ParallelRows:     1_000_000,
+		ParallelIters:    20,
+		ParallelDMLIters: 10,
 
 		StatsScale:    4,
 		QORepeats:     3,

@@ -322,6 +322,50 @@ func BenchmarkDeleteWhereBatch(b *testing.B) {
 	})
 }
 
+// benchParallelDML times one morsel-parallel DML statement per iteration
+// with the worker pool sized to GOMAXPROCS, so `-cpu 1,2,4` records the
+// write-path scaling curve through the striped claim path (the
+// bench-multicore CI job does exactly that; a 1-core container shows ~1x
+// by construction).
+func benchParallelDML(b *testing.B, run func(ctx *Ctx, tbl *catalog.Table) (int, error)) {
+	e := newBenchEnv(b)
+	tbl := e.fill(b, "t", dmlRows, 16)
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := &Ctx{Mgr: e.mgr, Txn: e.mgr.Begin(txn.Snapshot, false), Cat: e.cat, Workers: workers}
+		n, err := run(ctx, tbl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal("DML matched no rows")
+		}
+		b.StopTimer()
+		e.mgr.Abort(ctx.Txn)
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(dmlRows)*float64(b.N)/b.Elapsed().Seconds(), "scanned_rows/s")
+}
+
+// BenchmarkParallelDMLUpdate is the morsel-parallel UPDATE (page-batched
+// claims through the lock stripes, per-worker side-effect buffers).
+func BenchmarkParallelDMLUpdate(b *testing.B) {
+	set, where := dmlSet(), dmlWhere()
+	benchParallelDML(b, func(ctx *Ctx, tbl *catalog.Table) (int, error) {
+		return UpdateWhere(ctx, tbl, set, where)
+	})
+}
+
+// BenchmarkParallelDMLDelete is the morsel-parallel DELETE.
+func BenchmarkParallelDMLDelete(b *testing.B) {
+	where := dmlWhere()
+	benchParallelDML(b, func(ctx *Ctx, tbl *catalog.Table) (int, error) {
+		return DeleteWhere(ctx, tbl, where)
+	})
+}
+
 // BenchmarkParallelScanAgg runs the scan+aggregation pipeline with the
 // morsel-parallel worker pool sized to GOMAXPROCS, so `-cpu 1,2,4` records
 // the intra-query scaling curve (the bench-multicore CI job does exactly

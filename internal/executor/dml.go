@@ -101,9 +101,14 @@ func dmlScan(ctx *Ctx, t *catalog.Table, where rel.Expr, apply func(ids []storag
 // UpdateWhere updates rows matching the (possibly nil) predicate, setting
 // columns via the given expressions (evaluated against the old row). The
 // heap is scanned page-at-a-time and writes, index maintenance, and
-// statistics are applied per page batch. It returns the number of rows
-// updated.
+// statistics are applied per page batch. When ctx.Workers allows it the
+// pages are dispatched through the morsel-parallel write path instead (see
+// dmlParallel); results are identical either way. It returns the number of
+// rows updated.
 func UpdateWhere(ctx *Ctx, t *catalog.Table, set map[int]rel.Expr, where rel.Expr) (int, error) {
+	if w := pipelineWorkers(ctx, &scanPipeline{table: t}); w > 1 {
+		return dmlParallel(ctx, t, set, where, w)
+	}
 	news := make([]rel.Row, 0, storage.RowsPerPage)
 	return dmlScan(ctx, t, where, func(ids []storage.RowID, olds []rel.Row) error {
 		news = news[:0]
@@ -133,9 +138,13 @@ func UpdateWhere(ctx *Ctx, t *catalog.Table, set map[int]rel.Expr, where rel.Exp
 }
 
 // DeleteWhere deletes rows matching the (possibly nil) predicate, scanning
-// page-at-a-time and batching statistics maintenance per page. It returns
-// the number of rows deleted.
+// page-at-a-time and batching statistics maintenance per page. Like
+// UpdateWhere it rides the morsel-parallel write path when ctx.Workers
+// allows. It returns the number of rows deleted.
 func DeleteWhere(ctx *Ctx, t *catalog.Table, where rel.Expr) (int, error) {
+	if w := pipelineWorkers(ctx, &scanPipeline{table: t}); w > 1 {
+		return dmlParallel(ctx, t, nil, where, w)
+	}
 	return dmlScan(ctx, t, where, func(ids []storage.RowID, rows []rel.Row) error {
 		if err := ctx.Mgr.DeleteBatch(t.Heap, ids, ctx.Txn); err != nil {
 			return err

@@ -25,6 +25,12 @@ type Ctx struct {
 	// keeps execution serial (the zero value preserves the behaviour of
 	// callers that never opt in).
 	Workers int
+	// DMLParallelPages reports back how many heap pages the last DML
+	// statement processed through the morsel-parallel write path (0 when it
+	// ran serially). Written by the DML coordinator after its workers have
+	// joined, so a plain int is safe; the session layer feeds it to the
+	// monitor's dml.parallel_pages series.
+	DMLParallelPages int
 }
 
 // Iter is a pull-based row iterator. Next returns (nil, nil) at the end.

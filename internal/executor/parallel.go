@@ -443,26 +443,78 @@ func (s *parallelSort) Open() error {
 	}
 	wg.Wait()
 
-	total := 0
-	for _, run := range runs {
-		total += len(run.rows)
-	}
-	s.out = make([]rel.Row, 0, total)
-	pos := make([]int, s.workers)
-	for len(s.out) < total {
-		best := -1
-		for w, run := range runs {
-			if pos[w] >= len(run.idx) {
-				continue
-			}
-			if best < 0 || s.less(run, run.idx[pos[w]], runs[best], runs[best].idx[pos[best]]) {
-				best = w
-			}
+	// Merge the runs pairwise, tree-wise: each round halves the run count,
+	// with every pair merged on its own goroutine, so the merge does
+	// O(n log w) work across workers instead of O(n·w) on one. The seq tie
+	// break makes the order total, so every merge schedule — pairwise or
+	// the old k-way — produces the one sorted sequence: output identical.
+	for len(runs) > 1 {
+		next := make([]*sortRun, (len(runs)+1)/2)
+		var mwg sync.WaitGroup
+		for i := 0; i+1 < len(runs); i += 2 {
+			mwg.Add(1)
+			go func(i int) {
+				parallelWorkerCount.Add(1)
+				defer parallelWorkerCount.Add(-1)
+				defer mwg.Done()
+				next[i/2] = s.mergeRuns(runs[i], runs[i+1])
+			}(i)
 		}
-		s.out = append(s.out, runs[best].rows[runs[best].idx[pos[best]]])
-		pos[best]++
+		if len(runs)%2 == 1 {
+			next[len(next)-1] = runs[len(runs)-1]
+		}
+		mwg.Wait()
+		runs = next
+	}
+	final := runs[0]
+	s.out = make([]rel.Row, len(final.rows))
+	for i, p := range final.idx {
+		s.out[i] = final.rows[p]
 	}
 	return nil
+}
+
+// mergeRuns merges two sorted runs into one whose idx permutation is the
+// identity (rows, keys, and seqs are laid out in sorted order), so merged
+// runs compose with further merges and with the final extraction.
+func (s *parallelSort) mergeRuns(a, b *sortRun) *sortRun {
+	n := len(a.idx) + len(b.idx)
+	out := &sortRun{
+		rows: make([]rel.Row, 0, n),
+		seqs: make([]uint64, 0, n),
+		keys: make([][]rel.Value, len(s.keys)),
+		idx:  make([]int32, n),
+	}
+	for k := range out.keys {
+		out.keys[k] = make([]rel.Value, 0, n)
+	}
+	take := func(r *sortRun, p int32) {
+		out.rows = append(out.rows, r.rows[p])
+		out.seqs = append(out.seqs, r.seqs[p])
+		for k := range out.keys {
+			out.keys[k] = append(out.keys[k], r.keys[k][p])
+		}
+	}
+	ai, bi := 0, 0
+	for ai < len(a.idx) && bi < len(b.idx) {
+		if s.less(b, b.idx[bi], a, a.idx[ai]) {
+			take(b, b.idx[bi])
+			bi++
+		} else {
+			take(a, a.idx[ai])
+			ai++
+		}
+	}
+	for ; ai < len(a.idx); ai++ {
+		take(a, a.idx[ai])
+	}
+	for ; bi < len(b.idx); bi++ {
+		take(b, b.idx[bi])
+	}
+	for i := range out.idx {
+		out.idx[i] = int32(i)
+	}
+	return out
 }
 
 func (s *parallelSort) NextBatch(dst *rel.Batch) (int, error) {
@@ -575,14 +627,45 @@ func buildJoinTableParallel(ctx *Ctx, pipe *scanPipeline, rkey, workers int) map
 		}()
 	}
 	wg.Wait()
-	table := make(map[uint64][]rel.Row)
-	for _, st := range stripes {
-		for h, ents := range st.m {
-			sort.Slice(ents, func(i, j int) bool { return ents[i].seq < ents[j].seq })
-			rows := make([]rel.Row, len(ents))
-			for i, e := range ents {
-				rows[i] = e.row
+	// Flatten: the per-bucket seq sort is embarrassingly parallel (stripes
+	// partition the hash space), so workers claim stripes from an atomic
+	// counter and sort concurrently; only the final map assembly — bucket
+	// pointers, no row data — runs single-threaded.
+	flat := make([]map[uint64][]rel.Row, joinStripeCount)
+	var nextStripe atomic.Int64
+	var swg sync.WaitGroup
+	swg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			parallelWorkerCount.Add(1)
+			defer parallelWorkerCount.Add(-1)
+			defer swg.Done()
+			for {
+				si := int(nextStripe.Add(1)) - 1
+				if si >= joinStripeCount {
+					return
+				}
+				st := stripes[si]
+				if len(st.m) == 0 {
+					continue
+				}
+				m := make(map[uint64][]rel.Row, len(st.m))
+				for h, ents := range st.m {
+					sort.Slice(ents, func(i, j int) bool { return ents[i].seq < ents[j].seq })
+					rows := make([]rel.Row, len(ents))
+					for i, e := range ents {
+						rows[i] = e.row
+					}
+					m[h] = rows
+				}
+				flat[si] = m
 			}
+		}()
+	}
+	swg.Wait()
+	table := make(map[uint64][]rel.Row)
+	for _, m := range flat {
+		for h, rows := range m {
 			table[h] = rows
 		}
 	}

@@ -149,6 +149,7 @@ type Tracker struct {
 	windows   map[string]*Window
 	baselines map[string]float64
 	ph        map[string]*PageHinkley
+	counters  map[string]float64 // monotonic series, see Count/Total
 	triggers  []func(Event)
 	// DropRatio fires a "drop" event when the current window mean falls
 	// below baseline*DropRatio (for throughput-like series).
@@ -242,4 +243,26 @@ func (t *Tracker) Mean(series string) float64 {
 		return 0
 	}
 	return w.Mean()
+}
+
+// Count adds n to a monotonic counter series and feeds the increment to the
+// windowed detectors. Counter series (txn.stripe_wait, dml.parallel_pages)
+// accumulate forever — Total exposes the running sum — while the windowed
+// view still sees per-statement increments, so drift detection keeps
+// working on the rate.
+func (t *Tracker) Count(series string, n float64) {
+	t.mu.Lock()
+	if t.counters == nil {
+		t.counters = make(map[string]float64)
+	}
+	t.counters[series] += n
+	t.mu.Unlock()
+	t.Observe(series, n)
+}
+
+// Total returns the accumulated value of a counter series (0 if unknown).
+func (t *Tracker) Total(series string) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counters[series]
 }

@@ -130,3 +130,31 @@ func TestTrackerSpikeTrigger(t *testing.T) {
 		t.Fatalf("spike not detected: %v", events)
 	}
 }
+
+// TestTrackerCounters: Count accumulates a monotonic total alongside the
+// windowed view, is safe under concurrent increments, and unknown series
+// total to zero.
+func TestTrackerCounters(t *testing.T) {
+	tr := NewTracker()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Count("txn.stripe_wait", 2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Total("txn.stripe_wait"); got != 1600 {
+		t.Fatalf("total = %v, want 1600", got)
+	}
+	// The windowed view sees per-call increments, not the running total.
+	if m := tr.Mean("txn.stripe_wait"); m != 2 {
+		t.Fatalf("windowed mean = %v, want 2", m)
+	}
+	if tr.Total("unknown") != 0 {
+		t.Fatal("unknown series total should be 0")
+	}
+}

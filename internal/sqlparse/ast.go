@@ -250,6 +250,10 @@ type Select struct {
 	GroupBy []Expr
 	OrderBy []OrderItem
 	Limit   int64 // -1 = none
+	// Text is the statement's source text, stamped by Parse/ParseScript.
+	// The session layer keys the shared plan cache on it; empty (for ASTs
+	// built programmatically) means "don't cache".
+	Text string
 }
 
 func (*Select) stmt() {}

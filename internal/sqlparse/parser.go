@@ -32,6 +32,9 @@ func Parse(src string) (Stmt, error) {
 	if !p.atEOF() {
 		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().Text)
 	}
+	if sel, ok := stmt.(*Select); ok {
+		sel.Text = strings.TrimSpace(src)
+	}
 	return stmt, nil
 }
 
@@ -79,9 +82,15 @@ func ParseScript(src string) ([]Stmt, error) {
 		if p.accept(";") {
 			continue
 		}
+		start := p.peek().Pos
 		stmt, err := p.parseStmt()
 		if err != nil {
 			return nil, err
+		}
+		if sel, ok := stmt.(*Select); ok {
+			// The next token is the ';' separator or EOF: everything in
+			// between is this statement's text.
+			sel.Text = strings.TrimSpace(src[start:p.peek().Pos])
 		}
 		out = append(out, stmt)
 		if !p.accept(";") && !p.atEOF() {

@@ -182,6 +182,15 @@ func (h *Heap) NoteDelete() {
 	h.mu.Unlock()
 }
 
+// NoteDeleteN decrements the live-row estimate by n in one acquisition —
+// the batched form commit and abort use after tallying a run of deletes
+// against the same heap.
+func (h *Heap) NoteDeleteN(n int) {
+	h.mu.Lock()
+	h.live -= int64(n)
+	h.mu.Unlock()
+}
+
 // Scan visits every version-chain head in heap order. The visitor receives
 // the RowID and chain head; returning false stops the scan. Page touches are
 // recorded against the buffer pool. Each page's heads are copied out under
@@ -358,6 +367,9 @@ func (h *Heap) NewMorselSource(pagesPerMorsel int) *MorselSource {
 func (ms *MorselSource) Morsels() int {
 	return int((ms.pages + ms.size - 1) / ms.size)
 }
+
+// Pages returns the snapshotted page count the source dispatches.
+func (ms *MorselSource) Pages() int { return int(ms.pages) }
 
 // Next claims the next morsel, returning its ordinal and page range
 // [lo, hi), or ok=false once the heap snapshot is exhausted.

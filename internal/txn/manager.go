@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"neurdb/internal/rel"
 	"neurdb/internal/storage"
@@ -134,16 +135,49 @@ func (t *Txn) CommitTS() uint64 {
 	return t.commitTS
 }
 
+// WriteStripeCount is the number of independent claim locks the manager
+// partitions writers over. Claims hash (table, page) onto a stripe, so
+// writers touching disjoint page sets never contend; 64 matches the
+// executor's join-build striping and keeps the padded lock array small.
+const WriteStripeCount = 64
+
+// writeStripe is one claim lock, padded to its own cache line so stripes
+// hashed to adjacent slots don't false-share under heavy write traffic.
+type writeStripe struct {
+	mu sync.Mutex
+	_  [56]byte
+}
+
 // Manager coordinates transactions over heaps.
 type Manager struct {
 	mu       sync.RWMutex
 	nextID   uint64
-	nextTS   uint64
 	active   map[uint64]*Txn
 	statusOf map[uint64]Status // finished txns (bounded via pruning)
 	commitOf map[uint64]uint64
 
-	writeMu sync.Mutex // serializes write claims, commits, aborts
+	// clock is the commit-timestamp clock: Begin snapshots it, Commit
+	// advances it with one atomic add, so commit timestamps stay totally
+	// ordered without any lock. The stamp-before-publish discipline in
+	// Commit (version timestamps first, statusOf after) is what lets
+	// readers interpret a missing stamp as "not committed".
+	clock atomic.Uint64
+
+	// stripes partitions write claims (and their abort undo) by the row's
+	// (table, page): the per-row test-and-set of XMax and the head swap
+	// must be atomic against other claimers of the same row, but claims on
+	// different pages are independent. A claim takes exactly one stripe at
+	// a time — batch claims lock per page run, never holding two stripes —
+	// so no lock ordering is needed and deadlock is impossible. Commit
+	// takes no stripes at all: it only stamps versions the transaction
+	// already claimed, and concurrent claimers observe the claim via XMax.
+	stripes [WriteStripeCount]writeStripe
+
+	// stripeClaims/stripeWaits count stripe acquisitions and the subset
+	// that had to block (TryLock failed) — the txn.stripe_wait monitor
+	// series measures write-path contention from these.
+	stripeClaims atomic.Uint64
+	stripeWaits  atomic.Uint64
 
 	readersMu sync.Mutex
 	readers   map[rowKey]map[*Txn]struct{} // SIREAD registry
@@ -155,12 +189,34 @@ type Manager struct {
 func NewManager() *Manager {
 	return &Manager{
 		nextID:   0,
-		nextTS:   0,
 		active:   make(map[uint64]*Txn),
 		statusOf: make(map[uint64]Status),
 		commitOf: make(map[uint64]uint64),
 		readers:  make(map[rowKey]map[*Txn]struct{}),
 	}
+}
+
+// stripeIndex hashes a (table, page) pair onto a claim stripe.
+func stripeIndex(table int, page uint32) uint32 {
+	h := uint32(table)*0x9e3779b1 ^ page*0x85ebca6b
+	return (h ^ h>>16) % WriteStripeCount
+}
+
+// lockStripe acquires one claim stripe, counting contention for the
+// txn.stripe_wait series.
+func (m *Manager) lockStripe(i uint32) {
+	m.stripeClaims.Add(1)
+	if m.stripes[i].mu.TryLock() {
+		return
+	}
+	m.stripeWaits.Add(1)
+	m.stripes[i].mu.Lock()
+}
+
+// StripeStats reports cumulative claim-stripe acquisitions and how many of
+// them had to wait for a concurrent writer on the same stripe.
+func (m *Manager) StripeStats() (claims, waits uint64) {
+	return m.stripeClaims.Load(), m.stripeWaits.Load()
 }
 
 // Begin starts a transaction at the given isolation level.
@@ -170,7 +226,7 @@ func (m *Manager) Begin(level IsolationLevel, readOnly bool) *Txn {
 	m.nextID++
 	t := &Txn{
 		ID:       m.nextID,
-		StartTS:  m.nextTS,
+		StartTS:  m.clock.Load(),
 		Level:    level,
 		ReadOnly: readOnly,
 		status:   StatusActive,
@@ -192,7 +248,7 @@ func (m *Manager) Stats() (commits, aborts, ssiAborts, wwAborts uint64) {
 func (m *Manager) OldestActiveTS() uint64 {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	horizon := m.nextTS
+	horizon := m.clock.Load()
 	for _, t := range m.active {
 		if t.StartTS < horizon {
 			horizon = t.StartTS
@@ -380,9 +436,10 @@ func (m *Manager) modify(h *storage.Heap, id storage.RowID, newRow rel.Row, t *T
 	if t.Status() != StatusActive {
 		return ErrTxnFinished
 	}
-	m.writeMu.Lock()
-	defer m.writeMu.Unlock()
+	si := stripeIndex(h.TableID, id.Page)
+	m.lockStripe(si)
 	rec, err := m.claimLocked(h, id, h.Head(id), newRow, t, kind)
+	m.stripes[si].mu.Unlock()
 	if err != nil {
 		return err
 	}
@@ -393,7 +450,8 @@ func (m *Manager) modify(h *storage.Heap, id storage.RowID, newRow rel.Row, t *T
 }
 
 // claimLocked validates and claims the version of head visible to t,
-// installing the replacement head for updates. The caller holds writeMu.
+// installing the replacement head for updates. The caller holds the claim
+// stripe covering the row's (table, page).
 func (m *Manager) claimLocked(h *storage.Heap, id storage.RowID, head *storage.Version, newRow rel.Row, t *Txn, kind byte) (writeRec, error) {
 	if head == nil {
 		return writeRec{}, fmt.Errorf("txn: modify missing row %v", id)
@@ -429,12 +487,14 @@ func (m *Manager) claimLocked(h *storage.Heap, id storage.RowID, head *storage.V
 }
 
 // UpdateBatch replaces the visible versions of ids with newRows (aligned
-// slices). It is the write-side counterpart of ReadPage: one writeMu
-// acquisition and one batched head lookup cover the whole batch, so
-// page-clustered DML pays per-page instead of per-row locking. On the first
-// conflicting row the error is returned immediately; rows already claimed
-// stay recorded in the transaction's write set, and the caller is expected
-// to abort (undoing them) as with any mid-statement write conflict.
+// slices). It is the write-side counterpart of ReadPage: one claim-stripe
+// acquisition and one batched head lookup cover each page run of the batch,
+// so page-clustered DML pays per-page instead of per-row locking — and
+// because the stripes partition by page, concurrent batch writers on
+// disjoint pages proceed in parallel. On the first conflicting row the
+// error is returned immediately; rows already claimed stay recorded in the
+// transaction's write set, and the caller is expected to abort (undoing
+// them) as with any mid-statement write conflict.
 func (m *Manager) UpdateBatch(h *storage.Heap, ids []storage.RowID, newRows []rel.Row, t *Txn) error {
 	return m.modifyBatch(h, ids, newRows, t, 'u')
 }
@@ -452,22 +512,36 @@ func (m *Manager) modifyBatch(h *storage.Heap, ids []storage.RowID, newRows []re
 	if t.Status() != StatusActive {
 		return ErrTxnFinished
 	}
-	m.writeMu.Lock()
-	defer m.writeMu.Unlock()
-	heads := h.Heads(ids, make([]*storage.Version, 0, len(ids)))
+	heads := make([]*storage.Version, 0, storage.RowsPerPage)
 	recs := make([]writeRec, 0, len(ids))
 	var firstErr error
-	for i, id := range ids {
-		var newRow rel.Row
-		if kind == 'u' {
-			newRow = newRows[i]
+	// Claim page run by page run: each run of ids on the same page takes
+	// its stripe once, resolves heads under it (so a concurrent writer's
+	// head swap cannot slip between lookup and claim), and claims every
+	// row of the run. Only one stripe is ever held at a time, so
+	// concurrent batches need no lock ordering.
+	for start := 0; start < len(ids) && firstErr == nil; {
+		end := start + 1
+		for end < len(ids) && ids[end].Page == ids[start].Page {
+			end++
 		}
-		rec, err := m.claimLocked(h, id, heads[i], newRow, t, kind)
-		if err != nil {
-			firstErr = err
-			break
+		si := stripeIndex(h.TableID, ids[start].Page)
+		m.lockStripe(si)
+		heads = h.Heads(ids[start:end], heads[:0])
+		for i := start; i < end; i++ {
+			var newRow rel.Row
+			if kind == 'u' {
+				newRow = newRows[i]
+			}
+			rec, err := m.claimLocked(h, ids[i], heads[i-start], newRow, t, kind)
+			if err != nil {
+				firstErr = err
+				break
+			}
+			recs = append(recs, rec)
 		}
-		recs = append(recs, rec)
+		m.stripes[si].mu.Unlock()
+		start = end
 	}
 	if len(recs) > 0 {
 		t.mu.Lock()
@@ -510,13 +584,20 @@ func (m *Manager) Commit(t *Txn) error {
 		return ErrSerializationFailure
 	}
 
-	m.writeMu.Lock()
-	m.mu.Lock()
-	m.nextTS++
-	cts := m.nextTS
-	m.mu.Unlock()
+	// Draw the commit timestamp from the atomic clock: total commit order
+	// without any global write lock. Stamping happens *before* the status
+	// is published below — a reader that sees StatusCommitted also sees the
+	// stamps (the m.mu release/acquire pair orders them), while a reader
+	// racing ahead of publication resolves the writer as in-progress via
+	// statusOf and ignores the version. No claim stripes are taken here:
+	// every version being stamped was claimed earlier (XMax set, head
+	// swapped), so concurrent claimers already observe the conflict through
+	// XMax regardless of commit timing.
+	cts := m.clock.Add(1)
 
 	t.mu.Lock()
+	var delHeap *storage.Heap
+	delN := 0
 	for _, w := range t.writes {
 		switch w.kind {
 		case 'i':
@@ -526,8 +607,19 @@ func (m *Manager) Commit(t *Txn) error {
 			w.old.SetEndTS(cts)
 		case 'd':
 			w.old.SetEndTS(cts)
-			w.heap.NoteDelete()
+			// Batch the dead-row accounting: one heap-counter bump per run
+			// of deletes on the same heap instead of one per row.
+			if w.heap != delHeap {
+				if delN > 0 {
+					delHeap.NoteDeleteN(delN)
+				}
+				delHeap, delN = w.heap, 0
+			}
+			delN++
 		}
+	}
+	if delN > 0 {
+		delHeap.NoteDeleteN(delN)
 	}
 	t.status = StatusCommitted
 	t.commitTS = cts
@@ -539,7 +631,6 @@ func (m *Manager) Commit(t *Txn) error {
 	delete(m.active, t.ID)
 	m.commits++
 	m.mu.Unlock()
-	m.writeMu.Unlock()
 
 	m.unregisterReads(t)
 	return nil
@@ -561,27 +652,46 @@ func (m *Manager) abortInternal(t *Txn, ssi bool) {
 	t.writes = nil
 	t.mu.Unlock()
 
-	m.writeMu.Lock()
-	// Undo in reverse order.
-	for i := len(writes) - 1; i >= 0; i-- {
-		w := writes[i]
-		switch w.kind {
-		case 'i':
-			// Mark the inserted version dead-before-birth so no snapshot
-			// sees it and vacuum can reclaim the slot.
-			w.created.SetXMax(t.ID)
-			w.created.SetBeginTS(1)
-			w.created.SetEndTS(0)
-			w.heap.NoteDelete()
-		case 'u':
-			// Restore old head, clear claim.
-			w.heap.SetHead(w.id, w.old)
-			w.old.SetXMax(0)
-		case 'd':
-			w.old.SetXMax(0)
+	// Undo in reverse order, re-taking the claim stripe covering each
+	// record so the undo (head swap + XMax clear) cannot interleave with a
+	// concurrent claimer inspecting the same row. Consecutive records on
+	// the same stripe are undone under a single acquisition; as with
+	// claims, only one stripe is held at a time.
+	var delHeap *storage.Heap
+	delN := 0
+	for i := len(writes) - 1; i >= 0; {
+		si := stripeIndex(writes[i].heap.TableID, writes[i].id.Page)
+		m.lockStripe(si)
+		for i >= 0 && stripeIndex(writes[i].heap.TableID, writes[i].id.Page) == si {
+			w := writes[i]
+			switch w.kind {
+			case 'i':
+				// Mark the inserted version dead-before-birth so no snapshot
+				// sees it and vacuum can reclaim the slot.
+				w.created.SetXMax(t.ID)
+				w.created.SetBeginTS(1)
+				w.created.SetEndTS(0)
+				if w.heap != delHeap {
+					if delN > 0 {
+						delHeap.NoteDeleteN(delN)
+					}
+					delHeap, delN = w.heap, 0
+				}
+				delN++
+			case 'u':
+				// Restore old head, clear claim.
+				w.heap.SetHead(w.id, w.old)
+				w.old.SetXMax(0)
+			case 'd':
+				w.old.SetXMax(0)
+			}
+			i--
 		}
+		m.stripes[si].mu.Unlock()
 	}
-	m.writeMu.Unlock()
+	if delN > 0 {
+		delHeap.NoteDeleteN(delN)
+	}
 
 	m.mu.Lock()
 	m.statusOf[t.ID] = StatusAborted

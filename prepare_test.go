@@ -499,3 +499,74 @@ func TestPredictValuesArity(t *testing.T) {
 		t.Fatal("long VALUES row accepted")
 	}
 }
+
+// TestAdHocPlanCache: repeated non-prepared Session.Exec/Query SELECTs must
+// hit the shared plan cache on the same (mode, SQL) key path prepared
+// statements use, and DDL must invalidate them like any other entry.
+func TestAdHocPlanCache(t *testing.T) {
+	db := openTest(t)
+	seedKV(t, db, 300)
+
+	const sql = `SELECT grp, COUNT(*) FROM kv GROUP BY grp`
+	h0, m0 := db.PlanCacheStats()
+	first, err := db.Exec(sql) // miss: plans and caches
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m := db.PlanCacheStats(); h != h0 || m != m0+1 {
+		t.Fatalf("first ad-hoc exec: hits %d->%d misses %d->%d, want miss+1", h0, h, m0, m)
+	}
+	second, err := db.Exec(sql) // hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := db.PlanCacheStats(); h != h0+1 {
+		t.Fatalf("second ad-hoc exec did not hit the cache")
+	}
+	if len(first.Rows) != len(second.Rows) {
+		t.Fatalf("cached plan changed results: %d vs %d rows", len(first.Rows), len(second.Rows))
+	}
+
+	// A prepared statement with the same text shares the entry.
+	st, err := db.Prepare(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if h, _ := db.PlanCacheStats(); h != h0+2 {
+		t.Fatalf("Prepare of the same text missed the ad-hoc entry")
+	}
+
+	// Query path hits too, and parameters bind per execution.
+	rows, err := db.Query(`SELECT val FROM kv WHERE id = ?`, 7) // miss
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Close()
+	_, mBefore := db.PlanCacheStats()
+	rows, err = db.Query(`SELECT val FROM kv WHERE id = ?`, 8) // hit, new arg
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for rows.Next() {
+		got++
+	}
+	rows.Close()
+	if got != 1 {
+		t.Fatalf("parameterized cached plan returned %d rows, want 1", got)
+	}
+	if _, m := db.PlanCacheStats(); m != mBefore {
+		t.Fatalf("repeated ad-hoc query missed the cache")
+	}
+
+	// DDL bumps the catalog version: the ad-hoc entry is invalidated.
+	mustExec(t, db, `CREATE INDEX kv_grp ON kv (grp)`)
+	_, mBefore = db.PlanCacheStats()
+	if _, err := db.Exec(sql); err != nil {
+		t.Fatal(err)
+	}
+	if _, m := db.PlanCacheStats(); m != mBefore+1 {
+		t.Fatalf("DDL did not invalidate the ad-hoc cached plan")
+	}
+}
