@@ -35,6 +35,8 @@ func benchScale() bench.Scale {
 		StatsScale:    1,
 		QORepeats:     2,
 		QOTrainPasses: 40,
+
+		DurabilityDuration: 100 * time.Millisecond,
 	}
 }
 
@@ -63,6 +65,22 @@ func BenchmarkParallelScaling(b *testing.B) {
 		}
 		b.ReportMetric(res.ScanAggSpeedup4, "scanagg-speedup4")
 		b.ReportMetric(res.JoinSpeedup4, "join-speedup4")
+	}
+}
+
+// BenchmarkDurability measures the WAL commit path: group commit versus
+// fsync-per-commit at 1/8/32 writers, plus the wal-off and interval-sync
+// reference points. The 32-writer group-commit speedup is the headline
+// metric the bench-gate CI job gates.
+func BenchmarkDurability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunDurability(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.GroupSpeedup32, "group-speedup32")
+		b.ReportMetric(res.IntervalOverhead, "interval-overhead")
+		b.ReportMetric(res.FsyncUs, "fsync-us")
 	}
 }
 

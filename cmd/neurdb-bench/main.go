@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiments (comma-separated): table1|fig6a|fig6b|fig6c|fig7a|fig7b|fig8|prepared|parallel|parallel-dml|wire|all")
+	exp := flag.String("exp", "all", "experiments (comma-separated): table1|fig6a|fig6b|fig6c|fig7a|fig7b|fig8|prepared|parallel|parallel-dml|wire|durability|all")
 	full := flag.Bool("full", false, "use paper-approaching scale (slow)")
 	jsonOut := flag.Bool("json", false, "emit results as a JSON object keyed by experiment")
 	check := flag.String("check", "", "expectations file: validate results and exit non-zero on regression")
@@ -34,6 +34,7 @@ func main() {
 		"all": true, "table1": true, "fig6a": true, "fig6b": true,
 		"fig6c": true, "fig7a": true, "fig7b": true, "fig8": true,
 		"prepared": true, "parallel": true, "parallel-dml": true, "wire": true,
+		"durability": true,
 	}
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*exp, ",") {
@@ -147,6 +148,13 @@ func main() {
 			return "", nil, err
 		}
 		return bench.RenderParallelDML(res), res, nil
+	})
+	run("durability", func() (string, any, error) {
+		res, err := bench.RunDurability(sc)
+		if err != nil {
+			return "", nil, err
+		}
+		return bench.RenderDurability(res), res, nil
 	})
 	run("fig8", func() (string, any, error) {
 		res, err := bench.RunFig8(sc)

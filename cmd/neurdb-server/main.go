@@ -27,16 +27,32 @@ func main() {
 	maxFrame := flag.Int("max-frame", 0, "max frame payload bytes (0 = 16 MiB default)")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown drain window")
 	workers := flag.Int("workers", 0, "intra-query parallelism cap (0 = GOMAXPROCS)")
+	dataDir := flag.String("data", "", "data directory for WAL + checkpoints (empty = in-memory)")
+	walSync := flag.String("wal-sync", "commit", "WAL sync mode: commit|interval|off")
+	walSyncIv := flag.Duration("wal-sync-interval", 2*time.Millisecond, "background fsync period for -wal-sync=interval")
+	ckptIv := flag.Duration("ckpt", time.Minute, "background checkpoint interval (0 = disabled)")
+	ckptWalMB := flag.Int("ckpt-wal-mb", 64, "checkpoint when the WAL grows this many MiB (0 = no size trigger)")
 	flag.Parse()
 
 	cfg := neurdb.DefaultConfig()
 	cfg.Workers = *workers
-	db := neurdb.Open(cfg)
+	cfg.DataDir = *dataDir
+	cfg.WalSync = *walSync
+	cfg.WalSyncInterval = *walSyncIv
+	cfg.CheckpointInterval = *ckptIv
+	cfg.CheckpointWalMB = *ckptWalMB
+	db, err := neurdb.OpenDB(cfg)
+	if err != nil {
+		log.Fatalf("neurdb-server: recovery failed: %v", err)
+	}
 
 	srv := server.New(db, server.Config{MaxFrame: *maxFrame})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *dataDir != "" {
+		log.Printf("neurdb-server durable in %s (wal-sync=%s)", *dataDir, *walSync)
 	}
 	log.Printf("neurdb-server listening on %s (wire protocol 1.0)", ln.Addr())
 
@@ -47,6 +63,9 @@ func main() {
 
 	select {
 	case err := <-done:
+		if cerr := db.Close(); cerr != nil {
+			log.Printf("close: %v", cerr)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,6 +73,9 @@ func main() {
 		log.Printf("received %s, draining connections (up to %s)", sig, *grace)
 		srv.Shutdown(*grace)
 		<-done
+		if err := db.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
 		log.Printf("neurdb-server stopped")
 	}
 }

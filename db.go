@@ -37,6 +37,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"neurdb/internal/aiengine"
 	"neurdb/internal/catalog"
@@ -52,6 +53,7 @@ import (
 	"neurdb/internal/stats"
 	"neurdb/internal/storage"
 	"neurdb/internal/txn"
+	"neurdb/internal/wal"
 )
 
 // OptimizerMode selects how SELECT plans are chosen.
@@ -82,6 +84,31 @@ type Config struct {
 	// to GOMAXPROCS at query time; 1 forces serial execution. Sessions can
 	// override it (Session.SetWorkers, SET workers = n).
 	Workers int
+
+	// DataDir enables durability: the write-ahead log and checkpoints live
+	// here, and OpenDB replays them on boot. Empty (the default) keeps the
+	// instance purely in-memory, exactly as before.
+	DataDir string
+	// WalSync selects when commits become durable: "commit" (group fsync
+	// before every acknowledgment — the default), "interval" (background
+	// fsync every WalSyncInterval; a crash may lose that window), or "off"
+	// (no fsync; a process crash still loses little, a machine crash loses
+	// everything since the last checkpoint).
+	WalSync string
+	// WalSyncInterval is the background fsync period for WalSync
+	// "interval" (default 2ms).
+	WalSyncInterval time.Duration
+	// CheckpointInterval runs a background checkpoint this often (0
+	// disables the background checkpointer; Checkpoint can still be called
+	// explicitly).
+	CheckpointInterval time.Duration
+	// CheckpointWalMB additionally triggers a checkpoint whenever the WAL
+	// has grown this many MiB since the last one (0 = no size trigger).
+	CheckpointWalMB int
+	// NoGroupCommit defeats leader/follower fsync batching so every commit
+	// pays its own fsync — the baseline the durability benchmark compares
+	// group commit against. Never set it in production.
+	NoGroupCommit bool
 }
 
 // DefaultConfig returns a sensible configuration.
@@ -117,11 +144,31 @@ type DB struct {
 	// the monitor, so each write statement reports only its delta.
 	stripeWaitSeen atomic.Uint64
 
+	// Durability state (nil/zero when Config.DataDir is empty).
+	wlog        *wal.Log
+	ckptMu      sync.Mutex // serializes checkpoints
+	lastCkptWal atomic.Uint64
+	stopCkpt    chan struct{}
+	ckptDone    chan struct{}
+	closed      atomic.Bool
+
 	session *Session // implicit session for autocommit Exec
 }
 
-// Open creates an in-memory database instance.
+// Open creates a database instance. It panics if Config.DataDir is set and
+// recovery fails; durable callers should prefer OpenDB.
 func Open(cfg Config) *DB {
+	db, err := OpenDB(cfg)
+	if err != nil {
+		panic("neurdb: " + err.Error())
+	}
+	return db
+}
+
+// OpenDB creates a database instance, recovering state from
+// Config.DataDir's checkpoint and write-ahead log when a data directory is
+// configured. With an empty DataDir it never fails.
+func OpenDB(cfg Config) (*DB, error) {
 	if cfg.BufferPoolPages <= 0 {
 		cfg.BufferPoolPages = 4096
 	}
@@ -141,8 +188,13 @@ func Open(cfg Config) *DB {
 		staleStats: make(map[int]*stats.TableStats),
 		plans:      newPlanCache(DefaultPlanCacheSize),
 	}
+	if cfg.DataDir != "" {
+		if err := db.openDurable(); err != nil {
+			return nil, err
+		}
+	}
 	db.session = db.NewSession()
-	return db
+	return db, nil
 }
 
 // Catalog exposes the table registry (read-mostly; used by benchmarks).
@@ -420,13 +472,7 @@ func (s *Session) execStmt(stmt sqlparse.Stmt, args []rel.Value) (*Result, error
 	case *sqlparse.CreateIndex:
 		return s.execCreateIndex(t)
 	case *sqlparse.DropTable:
-		if err := s.db.cat.Drop(t.Name); err != nil {
-			if t.IfExists {
-				return &Result{Message: "DROP TABLE (skipped)"}, nil
-			}
-			return nil, err
-		}
-		return &Result{Message: "DROP TABLE"}, nil
+		return s.execDropTable(t)
 	case *sqlparse.Insert:
 		return s.execInsert(t, args)
 	case *sqlparse.Select:
@@ -455,17 +501,80 @@ func (s *Session) execCreateTable(ct *sqlparse.CreateTable) (*Result, error) {
 	for i, c := range ct.Cols {
 		cols[i] = rel.Column{Name: strings.ToLower(c.Name), Typ: c.Typ, Unique: c.Unique, NotNull: c.NotNull}
 	}
-	tbl, err := s.db.cat.Create(ct.Name, rel.NewSchema(cols...))
+	schema := rel.NewSchema(cols...)
+	// With a WAL, the create runs under the exclusive commit gate so the DDL
+	// record is ordered before any commit record touching the new table: a
+	// racing insert cannot draw its timestamp (GateRLock) until the table's
+	// create record is in the log.
+	w := s.db.wlog
+	if w != nil {
+		w.GateLock()
+	}
+	tbl, err := s.db.cat.Create(ct.Name, schema)
+	var lsn uint64
+	var aerr error
+	if err == nil && w != nil {
+		lsn, aerr = w.AppendDDL(wal.EncodeCreateTable(nil, tbl.ID, tbl.Name, schema))
+	}
+	if w != nil {
+		w.GateUnlock()
+	}
 	if err != nil {
 		return nil, err
 	}
-	// Primary-key style columns get a B-tree automatically.
+	if aerr != nil {
+		// The append never reached the log; undo the in-memory create so
+		// both sides agree the table does not exist.
+		_ = s.db.cat.Drop(tbl.Name)
+		return nil, fmt.Errorf("neurdb: wal append: %w", aerr)
+	}
+	// Primary-key style columns get a B-tree automatically. Not logged:
+	// replay recreates them from the schema's Unique flags.
 	for i, c := range cols {
 		if c.Unique {
 			tbl.AddIndex(&catalog.Index{Name: tbl.Name + "_" + c.Name, Col: i, BT: index.NewBTree()})
 		}
 	}
+	if w != nil {
+		if err := w.Sync(lsn); err != nil {
+			return nil, err
+		}
+	}
 	return &Result{Message: "CREATE TABLE"}, nil
+}
+
+func (s *Session) execDropTable(dt *sqlparse.DropTable) (*Result, error) {
+	// Same gate discipline as CREATE TABLE: while the gate is held
+	// exclusively no commit is mid-flight, so every commit record on the
+	// table precedes the drop record in the log.
+	w := s.db.wlog
+	if w != nil {
+		w.GateLock()
+	}
+	err := s.db.cat.Drop(dt.Name)
+	var lsn uint64
+	var aerr error
+	if err == nil && w != nil {
+		lsn, aerr = w.AppendDDL(wal.EncodeDropTable(nil, strings.ToLower(dt.Name)))
+	}
+	if w != nil {
+		w.GateUnlock()
+	}
+	if err != nil {
+		if dt.IfExists {
+			return &Result{Message: "DROP TABLE (skipped)"}, nil
+		}
+		return nil, err
+	}
+	if aerr != nil {
+		return nil, fmt.Errorf("neurdb: wal append: %w", aerr)
+	}
+	if w != nil {
+		if err := w.Sync(lsn); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Message: "DROP TABLE"}, nil
 }
 
 func (s *Session) execCreateIndex(ci *sqlparse.CreateIndex) (*Result, error) {
@@ -500,6 +609,20 @@ func (s *Session) execCreateIndex(ci *sqlparse.CreateIndex) (*Result, error) {
 	tbl.AddIndex(ix)
 	// New access path: invalidate cached plans.
 	s.db.cat.BumpVersion()
+	// The WAL record is metadata-only (replay rebuilds index contents from
+	// heap data), so ordering relative to commits is immaterial; the gate
+	// only orders it against a concurrent DROP TABLE.
+	if w := s.db.wlog; w != nil {
+		w.GateLock()
+		lsn, aerr := w.AppendDDL(wal.EncodeCreateIndex(nil, tbl.ID, ix.Name, col, ci.UseHash))
+		w.GateUnlock()
+		if aerr != nil {
+			return nil, fmt.Errorf("neurdb: wal append: %w", aerr)
+		}
+		if err := w.Sync(lsn); err != nil {
+			return nil, err
+		}
+	}
 	return &Result{Message: "CREATE INDEX"}, nil
 }
 

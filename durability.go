@@ -1,0 +1,327 @@
+package neurdb
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"neurdb/internal/catalog"
+	"neurdb/internal/index"
+	"neurdb/internal/rel"
+	"neurdb/internal/storage"
+	"neurdb/internal/wal"
+)
+
+// openDurable recovers the database from Config.DataDir and installs the
+// write-ahead log on the commit path. The sequence is:
+//
+//  1. Load the newest checkpoint (if any) and rebuild catalog, schemas, index
+//     definitions, and heap rows from it. Checkpoint rows install at commit
+//     timestamp 1 — every post-recovery snapshot starts at or beyond the
+//     restored clock, so they are visible everywhere.
+//  2. Replay every retained WAL segment in file order. Redo is idempotent, so
+//     records the checkpoint already reflects (possible after a crash during
+//     checkpoint truncation) converge harmlessly.
+//  3. Fast-forward the commit clock past everything recovered, rebuild the
+//     derived state replay does not maintain (free lists, index contents,
+//     statistics), and only then open the log for appending — new records go
+//     to a fresh segment, never into a possibly-torn tail.
+func (db *DB) openDurable() error {
+	dir := db.cfg.DataDir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	ck, err := wal.LoadCheckpoint(dir)
+	if err != nil {
+		return err
+	}
+	if ck != nil {
+		for _, t := range ck.Tables {
+			tbl, err := db.cat.Restore(t.ID, t.Name, t.Schema)
+			if err != nil {
+				return err
+			}
+			for _, ix := range t.Indexes {
+				addIndexDef(tbl, ix.Name, ix.Col, ix.Hash)
+			}
+			for _, r := range t.Rows {
+				tbl.Heap.InstallAt(r.ID, r.Row, 1)
+			}
+		}
+	}
+	st, err := wal.ReplaySegments(dir, db.applyRecord)
+	if err != nil {
+		return err
+	}
+	clock := st.MaxCTS
+	if ck != nil && ck.Clock > clock {
+		clock = ck.Clock
+	}
+	if clock > 0 {
+		db.mgr.RestoreClock(clock)
+	}
+	db.rebuildDerivedState()
+
+	mode, err := wal.ParseSyncMode(db.cfg.WalSync)
+	if err != nil {
+		return err
+	}
+	l, err := wal.Open(wal.Options{
+		Dir:      dir,
+		Mode:     mode,
+		Interval: db.cfg.WalSyncInterval,
+		NoGroup:  db.cfg.NoGroupCommit,
+		Metrics:  db.tracker,
+	})
+	if err != nil {
+		return err
+	}
+	db.wlog = l
+	db.mgr.SetCommitLog(l)
+	if db.cfg.CheckpointInterval > 0 || db.cfg.CheckpointWalMB > 0 {
+		db.stopCkpt = make(chan struct{})
+		db.ckptDone = make(chan struct{})
+		go db.checkpointLoop()
+	}
+	return nil
+}
+
+// applyRecord installs one replayed WAL record. Commit operations are
+// physiological redo — install the row image at its logged slot, or clear
+// the slot — so re-application is idempotent. DDL records tolerate state the
+// checkpoint already reflects (create of an existing table, drop of a
+// missing one): after a crash during checkpoint truncation both sources can
+// describe the same change.
+func (db *DB) applyRecord(rec *wal.Record) error {
+	switch rec.Kind {
+	case wal.RecCommit:
+		for _, op := range rec.Ops {
+			tbl := db.cat.ByID(op.Table)
+			if tbl == nil {
+				// The table is dropped later in the log (its drop record was
+				// already replayed on a previous pass, or the checkpoint
+				// post-dates the drop): its row changes are moot.
+				continue
+			}
+			switch op.Kind {
+			case wal.OpInsert, wal.OpUpdate:
+				tbl.Heap.InstallAt(op.ID, op.Row, rec.CommitTS)
+			case wal.OpDelete:
+				tbl.Heap.ClearAt(op.ID)
+			}
+		}
+	case wal.RecCreateTable:
+		tbl, err := db.cat.Restore(rec.TableID, rec.Name, rec.Schema)
+		if err != nil {
+			return err
+		}
+		// Auto unique indexes are not logged separately; recreate their
+		// definitions from the schema flags, as execCreateTable does.
+		for i, c := range rec.Schema.Cols {
+			if c.Unique {
+				addIndexDef(tbl, tbl.Name+"_"+c.Name, i, false)
+			}
+		}
+	case wal.RecDropTable:
+		// Ignore "does not exist": the checkpoint may already exclude it.
+		_ = db.cat.Drop(rec.Name)
+	case wal.RecCreateIndex:
+		tbl := db.cat.ByID(rec.TableID)
+		if tbl == nil {
+			return nil // table dropped later in the log
+		}
+		addIndexDef(tbl, rec.Name, rec.Col, rec.Hash)
+	}
+	return nil
+}
+
+// addIndexDef registers an empty index definition during recovery if the
+// table does not already have one by that name. Contents are rebuilt from
+// heap data after replay (rebuildDerivedState), so only the definition
+// matters here — and both the checkpoint and a replayed create record may
+// describe the same index.
+func addIndexDef(tbl *catalog.Table, name string, col int, hash bool) {
+	for _, ix := range tbl.Indexes() {
+		if ix.Name == name {
+			return
+		}
+	}
+	ix := &catalog.Index{Name: name, Col: col}
+	if hash {
+		ix.Hash = index.NewHashIndex()
+	} else {
+		ix.BT = index.NewBTree()
+	}
+	tbl.AddIndex(ix)
+}
+
+// rebuildDerivedState reconstructs everything replay does not maintain
+// directly: heap free lists (replay never frees slots in place — see
+// Heap.ClearAt), secondary index contents, and optimizer statistics. Runs
+// single-threaded at boot, before any transaction exists, so every chain
+// head is a committed row.
+func (db *DB) rebuildDerivedState() {
+	for _, tbl := range db.cat.All() {
+		tbl.Heap.RebuildFree()
+		indexes := tbl.Indexes()
+		var rows []rel.Row
+		cursor := tbl.Heap.NewCursor()
+		for {
+			id, head, ok := cursor.Next()
+			if !ok {
+				break
+			}
+			row := head.Data
+			for _, ix := range indexes {
+				ix.Insert(row[ix.Col], id)
+			}
+			rows = append(rows, row)
+		}
+		tbl.Stats.Rebuild(rows)
+	}
+}
+
+// Checkpoint writes a transactionally consistent snapshot of the whole
+// database and truncates the WAL to the segments that postdate it. The cut
+// runs under the exclusive commit gate: rotate the log (sealing the old
+// segment with an fsync), read the commit clock, and list the tables — all
+// while no commit is between drawing its timestamp and publishing its
+// stamps. Everything committed at or before the cut lands in the snapshot;
+// everything after has its record in the new segment. The heap scan itself
+// runs outside the gate under manual snapshot visibility, so commits keep
+// flowing while the (potentially large) image is built and written.
+//
+// Concurrent heap mutation during the scan is safe for commits (they only
+// prepend versions and stamp timestamps, both handled by the visibility
+// walk) but not for physical chain surgery: do not run Heap.Vacuum
+// concurrently with Checkpoint.
+func (db *DB) Checkpoint() error {
+	l := db.wlog
+	if l == nil {
+		return fmt.Errorf("neurdb: checkpoint requires Config.DataDir")
+	}
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+
+	l.GateLock()
+	sealed, err := l.Rotate()
+	if err != nil {
+		l.GateUnlock()
+		return err
+	}
+	snap := db.mgr.ClockNow()
+	tables := db.cat.All()
+	l.GateUnlock()
+
+	ck := &wal.Checkpoint{Seq: sealed, Clock: snap}
+	for _, tbl := range tables {
+		ct := wal.CkptTable{ID: tbl.ID, Name: tbl.Name, Schema: tbl.Schema}
+		for _, ix := range tbl.Indexes() {
+			ct.Indexes = append(ct.Indexes, wal.IndexMeta{Name: ix.Name, Col: ix.Col, Hash: ix.Hash != nil})
+		}
+		cursor := tbl.Heap.NewCursor()
+		for {
+			id, head, ok := cursor.Next()
+			if !ok {
+				break
+			}
+			if row, vis := visibleAt(head, snap); vis {
+				ct.Rows = append(ct.Rows, wal.CkptRow{ID: id, Row: row})
+			}
+		}
+		ck.Tables = append(ck.Tables, ct)
+	}
+
+	if err := wal.WriteCheckpoint(l.Dir(), ck); err != nil {
+		return err
+	}
+	// Old checkpoints go before old segments: if a crash interrupts the
+	// cleanup, recovery sees the new checkpoint plus extra old segments
+	// (harmlessly replayed), never a checkpoint whose segments are gone.
+	if err := wal.RemoveCheckpointsBefore(l.Dir(), ck.Seq); err != nil {
+		return err
+	}
+	if err := l.RemoveThrough(sealed); err != nil {
+		return err
+	}
+	flushed := db.pool.FlushDirty()
+	db.tracker.Count("ckpt.pages", float64(flushed))
+	db.tracker.Observe("pool.dirty", float64(db.pool.DirtyPages()))
+	db.lastCkptWal.Store(l.Bytes())
+	return nil
+}
+
+// visibleAt walks a version chain with an explicit snapshot timestamp: the
+// first version whose creator committed at or before snap is the snapshot's
+// row unless its deleter also committed at or before snap. Unstamped
+// versions (creator uncommitted, or committed after the checkpoint cut) are
+// skipped — their redo records live in post-cut segments.
+func visibleAt(head *storage.Version, snap uint64) (rel.Row, bool) {
+	for v := head; v != nil; v = v.Next() {
+		bts := v.BeginTS()
+		if bts == 0 || bts > snap {
+			continue
+		}
+		if v.EndTS() <= snap {
+			return nil, false // deleted within the snapshot; older versions are older still
+		}
+		return v.Data, true
+	}
+	return nil, false
+}
+
+// checkpointLoop is the background checkpointer: it fires on the configured
+// interval and/or whenever the WAL has grown CheckpointWalMB since the last
+// checkpoint, and skips entirely while no new WAL has been written.
+func (db *DB) checkpointLoop() {
+	defer close(db.ckptDone)
+	iv := db.cfg.CheckpointInterval
+	poll := iv
+	if poll <= 0 || poll > time.Second {
+		poll = time.Second // size-trigger polling granularity
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	var last time.Time
+	for {
+		select {
+		case <-db.stopCkpt:
+			return
+		case <-t.C:
+			if db.wlog.Bytes() == db.lastCkptWal.Load() {
+				continue // nothing new to bound; an empty checkpoint helps no one
+			}
+			due := iv > 0 && time.Since(last) >= iv
+			grown := db.cfg.CheckpointWalMB > 0 &&
+				db.wlog.Bytes()-db.lastCkptWal.Load() >= uint64(db.cfg.CheckpointWalMB)<<20
+			if !due && !grown {
+				continue
+			}
+			if err := db.Checkpoint(); err != nil {
+				db.tracker.Count("ckpt.errors", 1)
+			}
+			last = time.Now()
+		}
+	}
+}
+
+// Close shuts the instance down cleanly: the background checkpointer stops,
+// the implicit session's open transaction (if any) rolls back, and the WAL
+// is flushed, fsynced, and closed. In-memory instances (no DataDir) close
+// trivially. Close is idempotent.
+func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return nil
+	}
+	if db.stopCkpt != nil {
+		close(db.stopCkpt)
+		<-db.ckptDone
+	}
+	if db.session != nil {
+		db.session.Close()
+	}
+	if db.wlog != nil {
+		return db.wlog.Close()
+	}
+	return nil
+}

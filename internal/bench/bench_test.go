@@ -22,6 +22,8 @@ func tinyScale() Scale {
 		StatsScale:    1,
 		QORepeats:     1,
 		QOTrainPasses: 20,
+
+		DurabilityDuration: 60 * time.Millisecond,
 	}
 }
 
@@ -126,6 +128,28 @@ func TestRunFig7b(t *testing.T) {
 	if out := RenderFig7b(res); out == "" {
 		t.Fatal("empty render")
 	}
+}
+
+func TestRunDurability(t *testing.T) {
+	res, err := RunDurability(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(durabilityWriters) {
+		t.Fatalf("points: %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.GroupTps <= 0 || p.NoGroupTps <= 0 {
+			t.Fatalf("throughput missing: %+v", p)
+		}
+	}
+	if res.FsyncUs <= 0 || res.WalOffTps <= 0 || res.IntervalTps <= 0 {
+		t.Fatalf("reference points missing: %+v", res)
+	}
+	if out := RenderDurability(res); out == "" {
+		t.Fatal("empty render")
+	}
+	t.Logf("\n%s", RenderDurability(res))
 }
 
 func TestRunFig8(t *testing.T) {

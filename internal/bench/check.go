@@ -27,6 +27,9 @@ type Expectations struct {
 	// experiment key.
 	ParallelDML *ParallelDMLExpectations `json:"parallel_dml,omitempty"`
 	Wire        *WireExpectations        `json:"wire,omitempty"`
+	// Durability gates the WAL commit path under the "durability"
+	// experiment key.
+	Durability *DurabilityExpectations `json:"durability,omitempty"`
 }
 
 // Fig6aExpectations gates the end-to-end AI-analytics comparison.
@@ -113,6 +116,24 @@ type WireExpectations struct {
 	// MinCacheHitRate is the floor on the server plan-cache hit rate while
 	// the prepared path runs.
 	MinCacheHitRate float64 `json:"min_cache_hit_rate"`
+}
+
+// DurabilityExpectations gates the WAL commit path. The group-commit floor
+// only applies when raw fsync on the bench host costs at least
+// MinGateFsyncUs: on tmpfs or write-cached disks an fsync is nearly free,
+// batching it amortizes nothing, and there is no speedup to gate.
+type DurabilityExpectations struct {
+	// MinGroupSpeedup32 is the floor on group-commit over fsync-per-commit
+	// throughput at the top writer count (the headline claim: batching
+	// amortizes the fsync across concurrent committers).
+	MinGroupSpeedup32 float64 `json:"min_group_speedup32"`
+	// MaxIntervalOverhead is the ceiling on wal-off over interval-sync
+	// throughput: WAL append plus a background fsync must stay within this
+	// factor of running with no log at all (0 = not gated).
+	MaxIntervalOverhead float64 `json:"max_interval_overhead"`
+	// MinGateFsyncUs disables the group-commit floor on hosts where raw
+	// fsync is cheaper than this many microseconds.
+	MinGateFsyncUs float64 `json:"min_gate_fsync_us"`
 }
 
 // LoadExpectations reads an expectations file.
@@ -223,6 +244,22 @@ func (e *Expectations) Check(results map[string]any) []string {
 			if e.ParallelDML.MinDeleteSpeedup4 > 0 && res.DeleteSpeedup4 < e.ParallelDML.MinDeleteSpeedup4 {
 				fail("parallel-dml: delete speedup at 4 workers %.3f below floor %.3f",
 					res.DeleteSpeedup4, e.ParallelDML.MinDeleteSpeedup4)
+			}
+		}
+	}
+	if e.Durability != nil {
+		if res, ok := results["durability"].(*DurabilityResult); ok {
+			// An fsync that costs nothing cannot be amortized; the speedup
+			// floor only bites where the disk makes durability expensive.
+			if e.Durability.MinGroupSpeedup32 > 0 && res.FsyncUs >= e.Durability.MinGateFsyncUs &&
+				res.GroupSpeedup32 < e.Durability.MinGroupSpeedup32 {
+				fail("durability: group-commit speedup at %d writers %.3f below floor %.3f (fsync %.0f us)",
+					durabilityWriters[len(durabilityWriters)-1], res.GroupSpeedup32,
+					e.Durability.MinGroupSpeedup32, res.FsyncUs)
+			}
+			if e.Durability.MaxIntervalOverhead > 0 && res.IntervalOverhead > e.Durability.MaxIntervalOverhead {
+				fail("durability: interval-sync overhead %.3fx above ceiling %.3fx",
+					res.IntervalOverhead, e.Durability.MaxIntervalOverhead)
 			}
 		}
 	}

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neurdb"
+)
+
+// DurabilityPoint is one writer-count measurement of the group-commit
+// experiment: the same insert storm with leader/follower fsync batching on
+// (the default) versus defeated (one fsync per commit).
+type DurabilityPoint struct {
+	Writers    int
+	GroupTps   float64
+	NoGroupTps float64
+}
+
+// DurabilityResult reports the WAL's commit-path economics: what a durable
+// ack costs at different concurrency levels, how much group commit claws
+// back, and what the always-durable mode costs relative to running with no
+// WAL at all.
+type DurabilityResult struct {
+	// FsyncUs is the measured raw fsync latency on the bench host's temp
+	// filesystem. It calibrates the gate: when fsync is nearly free (tmpfs,
+	// battery-backed cache), batching fsyncs cannot produce a speedup and
+	// the group-commit floor self-disables.
+	FsyncUs float64
+	// WalOffTps is the insert storm with no data directory (pure in-memory
+	// engine) at the middle writer count — the zero-durability ceiling.
+	WalOffTps float64
+	// IntervalTps is the same storm with WalSync "interval" (durability to
+	// within the sync window) at the middle writer count.
+	IntervalTps float64
+	Points      []DurabilityPoint
+	// GroupSpeedup32 is GroupTps/NoGroupTps at the top writer count: how
+	// much leader/follower batching amortizes the fsync under contention.
+	GroupSpeedup32 float64
+	// IntervalOverhead is WalOffTps/IntervalTps: the multiplicative cost of
+	// WAL append + background fsync over no logging at all.
+	IntervalOverhead float64
+}
+
+// durabilityWriters are the storm concurrency levels; the middle entry also
+// serves as the writer count for the wal-off and interval comparisons.
+var durabilityWriters = []int{1, 8, 32}
+
+// measureFsync times raw 4 KiB write+fsync cycles on the same filesystem
+// the storm data directories use.
+func measureFsync() (float64, error) {
+	f, err := os.CreateTemp("", "neurdb-fsync-probe-")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(f.Name())
+	defer f.Close()
+	buf := make([]byte, 4096)
+	const iters = 32
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := f.WriteAt(buf, 0); err != nil {
+			return 0, err
+		}
+		if err := f.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Microseconds()) / iters, nil
+}
+
+// durabilityStorm opens a fresh database under cfg, loads the storm table,
+// and runs writers concurrent sessions each committing single-row inserts
+// serially for dur. Returns acknowledged commits per second.
+func durabilityStorm(cfg neurdb.Config, writers int, dur time.Duration) (float64, error) {
+	db, err := neurdb.OpenDB(cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE storm (id INT PRIMARY KEY, payload TEXT)`); err != nil {
+		return 0, err
+	}
+
+	payload := strings.Repeat("x", 64)
+	var stop atomic.Bool
+	var commits atomic.Int64
+	errCh := make(chan error, writers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := db.NewSession()
+			for seq := 0; !stop.Load(); seq++ {
+				id := int64(w)*10_000_000 + int64(seq)
+				if _, err := s.Exec(`INSERT INTO storm VALUES (?, ?)`, id, payload); err != nil {
+					errCh <- err
+					return
+				}
+				commits.Add(1)
+			}
+		}(w)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return 0, err
+	default:
+	}
+	return float64(commits.Load()) / elapsed.Seconds(), nil
+}
+
+// RunDurability measures the WAL commit path: group commit versus
+// fsync-per-commit at 1/8/32 writers, plus the wal-off and interval-sync
+// reference points, each on a fresh data directory.
+func RunDurability(sc Scale) (*DurabilityResult, error) {
+	res := &DurabilityResult{}
+	var err error
+	if res.FsyncUs, err = measureFsync(); err != nil {
+		return nil, err
+	}
+
+	base, err := os.MkdirTemp("", "neurdb-durability-bench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(base)
+
+	durable := func(name string, noGroup bool, mode string) neurdb.Config {
+		cfg := neurdb.DefaultConfig()
+		cfg.DataDir = filepath.Join(base, name)
+		cfg.WalSync = mode
+		cfg.NoGroupCommit = noGroup
+		// No background checkpoints: the storm measures the commit path only.
+		cfg.CheckpointInterval = 0
+		cfg.CheckpointWalMB = 0
+		return cfg
+	}
+
+	for _, w := range durabilityWriters {
+		group, err := durabilityStorm(durable(fmt.Sprintf("group-%d", w), false, "commit"), w, sc.DurabilityDuration)
+		if err != nil {
+			return nil, err
+		}
+		noGroup, err := durabilityStorm(durable(fmt.Sprintf("nogroup-%d", w), true, "commit"), w, sc.DurabilityDuration)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, DurabilityPoint{Writers: w, GroupTps: group, NoGroupTps: noGroup})
+	}
+
+	mid := durabilityWriters[1]
+	if res.WalOffTps, err = durabilityStorm(neurdb.DefaultConfig(), mid, sc.DurabilityDuration); err != nil {
+		return nil, err
+	}
+	if res.IntervalTps, err = durabilityStorm(durable("interval", false, "interval"), mid, sc.DurabilityDuration); err != nil {
+		return nil, err
+	}
+
+	top := res.Points[len(res.Points)-1]
+	if top.NoGroupTps > 0 {
+		res.GroupSpeedup32 = top.GroupTps / top.NoGroupTps
+	}
+	if res.IntervalTps > 0 {
+		res.IntervalOverhead = res.WalOffTps / res.IntervalTps
+	}
+	return res, nil
+}
+
+// RenderDurability prints the WAL commit-path table.
+func RenderDurability(r *DurabilityResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "WAL commit path (raw fsync %.0f us)\n", r.FsyncUs)
+	fmt.Fprintf(&sb, "  %-8s %16s %16s %9s\n", "writers", "group tps", "fsync/commit tps", "speedup")
+	for _, p := range r.Points {
+		speedup := 0.0
+		if p.NoGroupTps > 0 {
+			speedup = p.GroupTps / p.NoGroupTps
+		}
+		fmt.Fprintf(&sb, "  %-8d %16.0f %16.0f %8.2fx\n", p.Writers, p.GroupTps, p.NoGroupTps, speedup)
+	}
+	fmt.Fprintf(&sb, "  wal off:        %10.0f tps (%d writers)\n", r.WalOffTps, durabilityWriters[1])
+	fmt.Fprintf(&sb, "  interval sync:  %10.0f tps (%d writers, %.2fx overhead vs wal off)\n",
+		r.IntervalTps, durabilityWriters[1], r.IntervalOverhead)
+	return sb.String()
+}

@@ -56,6 +56,11 @@ type Scale struct {
 	// ParallelRows).
 	ParallelDMLIters int
 
+	// --- WAL commit path (durability) ---
+	// DurabilityDuration is the measurement window per (mode, writer-count)
+	// storm point in the group-commit experiment.
+	DurabilityDuration time.Duration
+
 	// --- Fig 8 (learned QO) ---
 	// StatsScale multiplies the STATS table sizes (1 ≈ 36k rows total).
 	StatsScale int
@@ -88,6 +93,8 @@ func DefaultScale() Scale {
 		ParallelIters:    8,
 		ParallelDMLIters: 5,
 
+		DurabilityDuration: 250 * time.Millisecond,
+
 		StatsScale:    1,
 		QORepeats:     2,
 		QOTrainPasses: 60,
@@ -116,6 +123,8 @@ func FullScale() Scale {
 		ParallelRows:     1_000_000,
 		ParallelIters:    20,
 		ParallelDMLIters: 10,
+
+		DurabilityDuration: 2 * time.Second,
 
 		StatsScale:    4,
 		QORepeats:     3,

@@ -155,6 +155,49 @@ func (c *Catalog) Create(name string, schema *rel.Schema) (*Table, error) {
 	return t, nil
 }
 
+// Restore registers a table under an explicit id during WAL recovery,
+// advancing the id allocator past it so post-recovery CREATE TABLE never
+// reuses a logged id. Replaying a create-table record the checkpoint
+// already restored is a no-op (same name, same id); the same name bound to
+// a different id means the log and checkpoint disagree and is an error.
+func (c *Catalog) Restore(id int, name string, schema *rel.Schema) (*Table, error) {
+	key := strings.ToLower(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, exists := c.tables[key]; exists {
+		if t.ID == id {
+			return t, nil
+		}
+		return nil, fmt.Errorf("catalog: restore table %q: id %d conflicts with existing id %d", name, id, t.ID)
+	}
+	if id > c.nextID {
+		c.nextID = id
+	}
+	t := &Table{
+		ID:     id,
+		Name:   key,
+		Schema: schema,
+		Heap:   storage.NewHeap(id, c.Pool),
+		Stats:  stats.NewTableStats(schema.Arity()),
+	}
+	c.tables[key] = t
+	c.version.Add(1)
+	return t, nil
+}
+
+// ByID resolves a table by id (nil if absent). WAL commit records name
+// tables by id; replay uses this to apply their redo operations.
+func (c *Catalog) ByID(id int) *Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, t := range c.tables {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
 // Get resolves a table by name.
 func (c *Catalog) Get(name string) (*Table, error) {
 	c.mu.RLock()

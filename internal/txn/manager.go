@@ -14,6 +14,7 @@ import (
 
 	"neurdb/internal/rel"
 	"neurdb/internal/storage"
+	"neurdb/internal/wal"
 )
 
 // Status is the lifecycle state of a transaction.
@@ -182,8 +183,41 @@ type Manager struct {
 	readersMu sync.Mutex
 	readers   map[rowKey]map[*Txn]struct{} // SIREAD registry
 
+	// log, when set, receives every writing transaction's redo record at
+	// commit (see Commit for the ordering protocol). Installed once at
+	// boot, before any transaction runs.
+	log CommitLog
+
 	commits, aborts, ssiAborts, wwAborts uint64
 }
+
+// CommitLog is the durability hook the WAL implements. The manager drives
+// it with a strict ordering protocol: GateRLock is held from the commit-
+// timestamp draw through in-memory publication (so a checkpoint cut under
+// the exclusive gate never observes a half-published commit), AppendCommit
+// happens before any stamp becomes visible (so a transaction can never be
+// observed — and built upon — before its redo record is in the log), and
+// Sync blocks the acknowledgment until the record is durable under the
+// configured policy.
+type CommitLog interface {
+	GateRLock()
+	GateRUnlock()
+	AppendCommit(cts uint64, ops []wal.Op) (lsn uint64, err error)
+	Sync(lsn uint64) error
+}
+
+// SetCommitLog installs the durability hook. Must be called before any
+// transaction begins (boot-time only): the field is read without
+// synchronization on the commit path.
+func (m *Manager) SetCommitLog(l CommitLog) { m.log = l }
+
+// ClockNow returns the current commit clock (the checkpoint cut reads it
+// under the exclusive commit gate).
+func (m *Manager) ClockNow() uint64 { return m.clock.Load() }
+
+// RestoreClock fast-forwards the commit clock after WAL replay so new
+// commits stamp timestamps beyond every recovered version. Boot-time only.
+func (m *Manager) RestoreClock(ts uint64) { m.clock.Store(ts) }
 
 // NewManager creates a transaction manager.
 func NewManager() *Manager {
@@ -572,16 +606,32 @@ func (m *Manager) flagReaders(table int, id storage.RowID, t *Txn) {
 
 // Commit finalizes t. Under Serializable it aborts pivots (both in- and
 // out-conflicts), returning ErrSerializationFailure.
+//
+// With a CommitLog installed, writing transactions follow the WAL protocol:
+// the redo record is appended *before* the stamps are published (if T2 ever
+// reads T1's writes, T1's record precedes T2's in the log, so a log prefix
+// is always causally closed), the whole draw-append-stamp-publish window
+// runs under the gate's read lock (so the checkpointer's exclusive cut sees
+// only fully published commits), and the call returns — acknowledging the
+// commit — only after Sync reports the record durable under the configured
+// policy. Read-only transactions skip all of it.
 func (m *Manager) Commit(t *Txn) error {
 	t.mu.Lock()
 	if t.status != StatusActive {
 		t.mu.Unlock()
 		return ErrTxnFinished
 	}
+	nwrites := len(t.writes)
 	t.mu.Unlock()
 	if t.Level == Serializable && t.isPivot() {
 		m.abortInternal(t, true)
 		return ErrSerializationFailure
+	}
+
+	log := m.log
+	logged := log != nil && nwrites > 0
+	if logged {
+		log.GateRLock()
 	}
 
 	// Draw the commit timestamp from the atomic clock: total commit order
@@ -594,6 +644,20 @@ func (m *Manager) Commit(t *Txn) error {
 	// swapped), so concurrent claimers already observe the conflict through
 	// XMax regardless of commit timing.
 	cts := m.clock.Add(1)
+
+	var lsn uint64
+	if logged {
+		var err error
+		lsn, err = log.AppendCommit(cts, t.redoOps())
+		if err != nil {
+			// Nothing reached the log (a failed buffered write leaves the
+			// on-disk prefix consistent), so rolling the in-memory claims
+			// back keeps both sides agreeing the transaction never happened.
+			log.GateRUnlock()
+			m.abortInternal(t, false)
+			return fmt.Errorf("txn: wal append: %w", err)
+		}
+	}
 
 	t.mu.Lock()
 	var delHeap *storage.Heap
@@ -632,8 +696,42 @@ func (m *Manager) Commit(t *Txn) error {
 	m.commits++
 	m.mu.Unlock()
 
+	if logged {
+		log.GateRUnlock()
+	}
 	m.unregisterReads(t)
+	if logged {
+		// Acknowledge only once the record is durable. The commit is
+		// already visible to other transactions — that is safe, because any
+		// dependent commit's record lands later in the same sequential log:
+		// an fsync covering it covers ours too.
+		return log.Sync(lsn)
+	}
 	return nil
+}
+
+// redoOps converts the write set into WAL redo operations: the full new row
+// image pinned to its physical slot, making replay an idempotent
+// install/clear.
+func (t *Txn) redoOps() []wal.Op {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ops := make([]wal.Op, len(t.writes))
+	for i, w := range t.writes {
+		op := wal.Op{Table: w.heap.TableID, ID: w.id}
+		switch w.kind {
+		case 'i':
+			op.Kind = wal.OpInsert
+			op.Row = w.created.Data
+		case 'u':
+			op.Kind = wal.OpUpdate
+			op.Row = w.created.Data
+		case 'd':
+			op.Kind = wal.OpDelete
+		}
+		ops[i] = op
+	}
+	return ops
 }
 
 // Abort rolls back t.

@@ -1,0 +1,508 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncMode selects when appended records are forced to stable storage.
+type SyncMode int
+
+const (
+	// SyncCommit fsyncs before a commit is acknowledged, with leader/follower
+	// group commit batching concurrent committers onto one fsync (default).
+	SyncCommit SyncMode = iota
+	// SyncInterval acknowledges immediately and fsyncs on a background timer
+	// (the PostgreSQL synchronous_commit=off trade: a crash may lose the last
+	// interval of acknowledged commits, but never corrupts recovered state).
+	SyncInterval
+	// SyncOff never fsyncs; records still reach the OS via buffered writes.
+	// A machine crash loses everything since the last checkpoint; a process
+	// crash loses only the records still in the user-space buffer.
+	SyncOff
+)
+
+// ParseSyncMode maps the wal_sync knob's string form ("commit", "interval",
+// "off") to a SyncMode.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "commit", "group":
+		return SyncCommit, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown sync mode %q (want commit|interval|off)", s)
+	}
+}
+
+// Metrics receives the log's monitor series; monitor.Tracker satisfies it.
+type Metrics interface {
+	Count(series string, n float64)
+	Observe(series string, v float64)
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the data directory holding wal-*.log segments and checkpoints.
+	Dir string
+	// Mode selects the sync policy (default SyncCommit).
+	Mode SyncMode
+	// Interval is the background fsync period for SyncInterval (default 2ms).
+	Interval time.Duration
+	// NoGroup defeats leader/follower batching so every Sync performs its
+	// own fsync — the per-commit-fsync baseline the durability benchmark
+	// compares group commit against. Ignored outside SyncCommit.
+	NoGroup bool
+	// Metrics, when set, receives wal.bytes / wal.fsyncs / wal.group_size.
+	Metrics Metrics
+}
+
+// segmentPrefix/segmentSuffix name WAL segment files: wal-<seq>.log.
+const (
+	segmentPrefix = "wal-"
+	segmentSuffix = ".log"
+	// segmentHeaderLen is the fixed per-segment header: 8-byte magic plus
+	// the 8-byte little-endian segment sequence number.
+	segmentHeaderLen = 16
+	// recordHeaderLen prefixes every record: u32 payload length + u32 CRC32C
+	// of the payload.
+	recordHeaderLen = 8
+)
+
+var segmentMagic = [8]byte{'N', 'D', 'B', 'W', 'A', 'L', '0', '1'}
+
+// Log is the write-ahead log. Appends go through an in-process buffer under
+// mu; Sync makes them durable according to the configured mode. The
+// checkpointer uses Gate/Rotate to cut the log at a quiescent point.
+type Log struct {
+	dir     string
+	mode    SyncMode
+	noGroup bool
+	metrics Metrics
+
+	// gate spans each commit's append-to-publish window (readers) and the
+	// checkpointer's cut (writer): while the checkpointer holds it, no
+	// commit is between drawing its timestamp and becoming visible, so a
+	// rotation under the gate cleanly splits records into "fully published,
+	// captured by the snapshot" and "later than the snapshot".
+	gate sync.RWMutex
+
+	mu        sync.Mutex // guards file, bw, seq/offset state
+	f         *os.File
+	bw        *bufio.Writer
+	seq       uint64 // current segment sequence number
+	appendLSN uint64 // records appended (monotonic, process-lifetime)
+	scratch   []byte // payload build buffer
+
+	// Group commit state: followers wait on cond until syncedLSN covers
+	// their record; one waiter at a time becomes leader, flushes + fsyncs,
+	// and publishes the new watermark.
+	syncMu    sync.Mutex
+	syncCond  *sync.Cond
+	syncedLSN uint64
+	syncing   bool
+	syncErr   error // sticky: a failed fsync poisons the log
+
+	// ioMu serializes non-leader fsync paths (NoGroup mode, the interval
+	// ticker, rotation, Close). NoGroup needs it for honesty: without it,
+	// concurrent per-commit fsyncs batch inside the kernel and the
+	// "fsync-per-commit" benchmark baseline silently becomes group commit.
+	ioMu sync.Mutex
+
+	closed   atomic.Bool
+	stopTick chan struct{}
+	tickDone chan struct{}
+
+	bytes      atomic.Uint64 // payload+header bytes appended
+	fsyncs     atomic.Uint64
+	records    atomic.Uint64
+	commits    atomic.Uint64 // commit records appended (group-size numerator)
+	lastSynced uint64        // commits covered by previous fsyncs (syncMu)
+}
+
+// Open creates or opens the log in opts.Dir, appending to a fresh segment
+// after any existing ones (recovery reads the old segments; new records must
+// never interleave into a possibly-torn tail).
+func Open(opts Options) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("wal: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{
+		dir:     opts.Dir,
+		mode:    opts.Mode,
+		noGroup: opts.NoGroup,
+		metrics: opts.Metrics,
+	}
+	l.syncCond = sync.NewCond(&l.syncMu)
+	segs, err := ListSegments(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	next := uint64(1)
+	if n := len(segs); n > 0 {
+		next = segs[n-1].Seq + 1
+	}
+	if err := l.openSegmentLocked(next); err != nil {
+		return nil, err
+	}
+	if opts.Mode == SyncInterval {
+		iv := opts.Interval
+		if iv <= 0 {
+			iv = 2 * time.Millisecond
+		}
+		l.stopTick = make(chan struct{})
+		l.tickDone = make(chan struct{})
+		go l.tickLoop(iv)
+	}
+	return l, nil
+}
+
+// tickLoop is the SyncInterval background fsync driver.
+func (l *Log) tickLoop(iv time.Duration) {
+	defer close(l.tickDone)
+	t := time.NewTicker(iv)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopTick:
+			return
+		case <-t.C:
+			l.syncNow()
+		}
+	}
+}
+
+// openSegmentLocked starts segment seq. Callers hold mu (or have exclusive
+// access during Open).
+func (l *Log) openSegmentLocked(seq uint64) error {
+	path := segmentPath(l.dir, seq)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [segmentHeaderLen]byte
+	copy(hdr[:], segmentMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], seq)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	// Make the directory entry durable now: a commit fsync later only
+	// covers the file's data, not its existence in the directory.
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.seq = seq
+	if l.bw == nil {
+		l.bw = bufio.NewWriterSize(f, 256<<10)
+	} else {
+		l.bw.Reset(f)
+	}
+	return nil
+}
+
+func segmentPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", segmentPrefix, seq, segmentSuffix))
+}
+
+// SegmentRef names one on-disk segment.
+type SegmentRef struct {
+	Seq  uint64
+	Path string
+}
+
+// ListSegments returns the data directory's WAL segments in sequence order.
+func ListSegments(dir string) ([]SegmentRef, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []SegmentRef
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, segmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		seqStr := strings.TrimSuffix(strings.TrimPrefix(name, segmentPrefix), segmentSuffix)
+		seq, err := strconv.ParseUint(seqStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, SegmentRef{Seq: seq, Path: filepath.Join(dir, name)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// GateRLock enters a commit window: held from commit-timestamp draw through
+// in-memory publication so the checkpointer can exclude half-published
+// commits from its cut.
+func (l *Log) GateRLock() { l.gate.RLock() }
+
+// GateRUnlock leaves a commit window.
+func (l *Log) GateRUnlock() { l.gate.RUnlock() }
+
+// GateLock excludes all commit windows (checkpoint cut, DDL ordering).
+func (l *Log) GateLock() { l.gate.Lock() }
+
+// GateUnlock releases the exclusive gate.
+func (l *Log) GateUnlock() { l.gate.Unlock() }
+
+// AppendCommit appends one committed transaction's redo record and returns
+// its LSN for Sync. The caller holds the gate (read side).
+func (l *Log) AppendCommit(cts uint64, ops []Op) (uint64, error) {
+	l.mu.Lock()
+	l.scratch = encodeCommit(l.scratch[:0], cts, ops)
+	lsn, err := l.appendLocked(l.scratch)
+	l.mu.Unlock()
+	if err == nil {
+		l.commits.Add(1)
+	}
+	return lsn, err
+}
+
+// AppendDDL appends a pre-encoded DDL payload (EncodeCreateTable and
+// friends). The caller holds the gate exclusively so the record is ordered
+// before any commit that touches the new object.
+func (l *Log) AppendDDL(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	lsn, err := l.appendLocked(payload)
+	l.mu.Unlock()
+	return lsn, err
+}
+
+func (l *Log) appendLocked(payload []byte) (uint64, error) {
+	if l.closed.Load() {
+		return 0, fmt.Errorf("wal: log closed")
+	}
+	var hdr [recordHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	if _, err := l.bw.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := l.bw.Write(payload); err != nil {
+		return 0, err
+	}
+	l.appendLSN++
+	l.records.Add(1)
+	l.bytes.Add(uint64(len(payload) + recordHeaderLen))
+	if l.metrics != nil {
+		l.metrics.Count("wal.bytes", float64(len(payload)+recordHeaderLen))
+	}
+	return l.appendLSN, nil
+}
+
+// Sync blocks until the record at lsn is durable under the configured mode.
+// Under SyncCommit one caller becomes the fsync leader while later arrivals
+// wait; the leader's single fsync covers every record appended before it
+// flushed, so concurrent committers share the disk round trip.
+func (l *Log) Sync(lsn uint64) error {
+	switch l.mode {
+	case SyncOff, SyncInterval:
+		// Acknowledge immediately. Interval mode's ticker (or Close) will
+		// flush + fsync behind us; Off mode flushes opportunistically so the
+		// user-space buffer stays bounded.
+		return nil
+	}
+	if l.noGroup {
+		return l.syncNow()
+	}
+	l.syncMu.Lock()
+	for {
+		if l.syncErr != nil {
+			err := l.syncErr
+			l.syncMu.Unlock()
+			return err
+		}
+		if l.syncedLSN >= lsn {
+			l.syncMu.Unlock()
+			return nil
+		}
+		if !l.syncing {
+			break
+		}
+		l.syncCond.Wait()
+	}
+	l.syncing = true
+	l.syncMu.Unlock()
+
+	target, commits, err := l.flushAndSync()
+
+	l.syncMu.Lock()
+	l.syncing = false
+	if err != nil {
+		l.syncErr = err
+	} else {
+		if target > l.syncedLSN {
+			l.syncedLSN = target
+		}
+		if l.metrics != nil && commits > l.lastSynced {
+			// Group size: commit records made durable by this one fsync.
+			l.metrics.Observe("wal.group_size", float64(commits-l.lastSynced))
+		}
+		if commits > l.lastSynced {
+			l.lastSynced = commits
+		}
+	}
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if target >= lsn {
+		return nil
+	}
+	// A racing append slipped past our flush; wait for the next leader.
+	return l.Sync(lsn)
+}
+
+// syncNow flushes and fsyncs immediately (interval ticker, NoGroup mode,
+// rotation, Close).
+func (l *Log) syncNow() error {
+	l.syncMu.Lock()
+	if l.syncErr != nil {
+		err := l.syncErr
+		l.syncMu.Unlock()
+		return err
+	}
+	l.syncMu.Unlock()
+	l.ioMu.Lock()
+	target, commits, err := l.flushAndSync()
+	l.ioMu.Unlock()
+	l.syncMu.Lock()
+	if err != nil {
+		l.syncErr = err
+	} else {
+		if target > l.syncedLSN {
+			l.syncedLSN = target
+		}
+		if l.metrics != nil && commits > l.lastSynced {
+			l.metrics.Observe("wal.group_size", float64(commits-l.lastSynced))
+		}
+		if commits > l.lastSynced {
+			l.lastSynced = commits
+		}
+	}
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+	return err
+}
+
+// flushAndSync pushes the user-space buffer to the OS and fsyncs the current
+// segment, returning the LSN and commit count the fsync covers.
+func (l *Log) flushAndSync() (lsn uint64, commits uint64, err error) {
+	l.mu.Lock()
+	lsn = l.appendLSN
+	commits = l.commits.Load()
+	err = l.bw.Flush()
+	f := l.f
+	l.mu.Unlock()
+	if err != nil {
+		return lsn, commits, err
+	}
+	if err := f.Sync(); err != nil {
+		return lsn, commits, err
+	}
+	l.fsyncs.Add(1)
+	if l.metrics != nil {
+		l.metrics.Count("wal.fsyncs", 1)
+	}
+	return lsn, commits, nil
+}
+
+// Rotate seals the current segment (flush + fsync) and starts a new one,
+// returning the sealed segment's sequence number. The caller holds the gate
+// exclusively, so no commit record straddles the boundary half-published.
+func (l *Log) Rotate() (sealed uint64, err error) {
+	if err := l.syncNow(); err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	sealed = l.seq
+	old := l.f
+	if err := l.openSegmentLocked(l.seq + 1); err != nil {
+		// The old segment stays current; appends continue into it.
+		l.f = old
+		l.bw.Reset(old)
+		return 0, err
+	}
+	old.Close()
+	return sealed, nil
+}
+
+// RemoveThrough deletes segments with sequence <= seq, oldest first. The
+// oldest-first order preserves the replay invariant that the retained
+// segments are always a suffix: a crash mid-removal leaves extra old
+// segments, never a gap.
+func (l *Log) RemoveThrough(seq uint64) error {
+	segs, err := ListSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if s.Seq > seq {
+			break
+		}
+		l.mu.Lock()
+		cur := l.seq
+		l.mu.Unlock()
+		if s.Seq >= cur {
+			break // never delete the live segment
+		}
+		if err := os.Remove(s.Path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats reports cumulative append/sync counters.
+func (l *Log) Stats() (bytes, records, commits, fsyncs uint64) {
+	return l.bytes.Load(), l.records.Load(), l.commits.Load(), l.fsyncs.Load()
+}
+
+// Bytes returns the bytes appended so far (checkpoint trigger input).
+func (l *Log) Bytes() uint64 { return l.bytes.Load() }
+
+// Dir returns the data directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Close flushes, fsyncs, and closes the log. Further appends fail.
+func (l *Log) Close() error {
+	if l.closed.Swap(true) {
+		return nil
+	}
+	if l.stopTick != nil {
+		close(l.stopTick)
+		<-l.tickDone
+	}
+	err := l.syncNow()
+	l.mu.Lock()
+	if ferr := l.f.Close(); err == nil {
+		err = ferr
+	}
+	l.mu.Unlock()
+	return err
+}
