@@ -1,0 +1,374 @@
+// Command neurdb-lint runs the neurdb-lint analyzer suite (internal/lint):
+// static checks that mechanically enforce the engine's concurrency,
+// determinism, and durability invariants.
+//
+// It runs in two modes:
+//
+//	neurdb-lint [./...]                     standalone over the module in cwd
+//	go vet -vettool=$(which neurdb-lint)    as a vet tool (unitchecker protocol)
+//
+// The vet mode speaks the protocol "go vet" expects of a -vettool:
+// -V=full describes the executable, -flags describes the flags, and a
+// single foo.cfg argument names a JSON compilation-unit description to
+// analyze. Diagnostics go to stderr as file:line:col: message and the exit
+// status is 1 when any are reported.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"neurdb/internal/lint"
+)
+
+// vetConfig mirrors the JSON compilation-unit description "go vet" writes
+// for a -vettool (golang.org/x/tools/go/analysis/unitchecker.Config).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `neurdb-lint enforces neurdb's concurrency, determinism, and durability invariants.
+
+Usage:
+  neurdb-lint [-NAME...] [package ...]        standalone (packages default to ./...)
+  go vet -vettool=$(which neurdb-lint) ./...  under go vet
+
+Analyzers:
+`)
+	for _, a := range lint.All() {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+	os.Exit(1)
+}
+
+// versionFlag implements the -V=full handshake of the vet tool protocol.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	progname, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(progname)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n",
+		progname, string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("neurdb-lint: ")
+	flag.Usage = usage
+
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON")
+	flag.Var(versionFlag{}, "V", "print version and exit")
+	_ = flag.Bool("json", false, "no effect (accepted for vet compatibility)")
+	_ = flag.Int("c", -1, "no effect (accepted for vet compatibility)")
+
+	suite := lint.All()
+	selected := make(map[string]*bool, len(suite))
+	for _, a := range suite {
+		selected[a.Name] = flag.Bool(a.Name, false, "enable only the "+a.Name+" analyzer (and other -NAME flags)")
+	}
+	flag.Parse()
+
+	if *printflags {
+		printFlags()
+		return
+	}
+
+	// Honor explicit -NAME analyzer selection the way go vet does: any
+	// flag set true narrows the suite to the true set; otherwise flags
+	// set false subtract from it.
+	setTrue, setFalse := map[string]bool{}, map[string]bool{}
+	flag.Visit(func(f *flag.Flag) {
+		if on, ok := selected[f.Name]; ok {
+			if *on {
+				setTrue[f.Name] = true
+			} else {
+				setFalse[f.Name] = true
+			}
+		}
+	})
+	var analyzers []*lint.Analyzer
+	for _, a := range suite {
+		switch {
+		case len(setTrue) > 0:
+			if setTrue[a.Name] {
+				analyzers = append(analyzers, a)
+			}
+		case setFalse[a.Name]:
+		default:
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runVetUnit(args[0], analyzers)
+		return
+	}
+	runStandalone(args, analyzers)
+}
+
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// runVetUnit analyzes one compilation unit described by a go vet .cfg file.
+func runVetUnit(configFile string, analyzers []*lint.Analyzer) {
+	data, err := os.ReadFile(configFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode JSON config file %s: %v", configFile, err)
+	}
+
+	// The go command runs the tool over every dependency (stdlib included)
+	// to build fact files before the packages under test. neurdb-lint has
+	// no facts, but the protocol still requires the output file to exist.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	var applicable []*lint.Analyzer
+	for _, a := range analyzers {
+		if a.AppliesTo(cfg.ImportPath) {
+			applicable = append(applicable, a)
+		}
+	}
+	// Fact-only invocations and packages no analyzer is pinned to need no
+	// typechecking at all — this keeps `go vet -vettool` fast: only the
+	// handful of invariant-bearing packages are analyzed.
+	if cfg.VetxOnly || len(applicable) == 0 {
+		writeVetx()
+		return
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a resolved package path, not an import path.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tpkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return
+		}
+		log.Fatal(err)
+	}
+
+	diags, err := lint.RunAnalyzers(&lint.Package{Fset: fset, Files: files, Pkg: tpkg, Info: info}, applicable)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeVetx()
+	if len(diags) > 0 {
+		printDiags(fset, diags)
+		os.Exit(1)
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// runStandalone loads the module containing the working directory from
+// source and runs the suite over the requested packages (default ./...).
+func runStandalone(args []string, analyzers []*lint.Analyzer) {
+	root, err := findModuleRoot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var paths []string
+	wantAll := len(args) == 0
+	for _, a := range args {
+		if a == "./..." || a == "all" {
+			wantAll = true
+		}
+	}
+	if wantAll {
+		paths, err = loader.Walk()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		cwd, err := os.Getwd()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, a := range args {
+			paths = append(paths, resolvePath(loader, root, cwd, a))
+		}
+	}
+
+	exit := 0
+	for _, path := range paths {
+		applies := false
+		for _, a := range analyzers {
+			if a.AppliesTo(path) {
+				applies = true
+				break
+			}
+		}
+		if !applies {
+			continue
+		}
+		pkg, err := loader.Load(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		diags, err := lint.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(diags) > 0 {
+			printDiags(loader.Fset(), diags)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// resolvePath turns a ./relative package argument into a module import path.
+func resolvePath(loader *lint.Loader, root, cwd, arg string) string {
+	if !strings.HasPrefix(arg, ".") {
+		return arg
+	}
+	abs := filepath.Join(cwd, arg)
+	rel, err := filepath.Rel(root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		log.Fatalf("package %s is outside module %s", arg, loader.Module)
+	}
+	if rel == "." {
+		return loader.Module
+	}
+	return loader.Module + "/" + filepath.ToSlash(rel)
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+func printDiags(fset *token.FileSet, diags []lint.Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}

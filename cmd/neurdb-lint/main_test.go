@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestVettoolSmoke builds the neurdb-lint binary and runs it under the real
+// `go vet -vettool` driver over the known-bad fixture module, asserting that
+// the diagnostic set matches the fixture's `// want analyzer:"regexp"`
+// annotations exactly — the same expectations the in-process analyzer tests
+// check, now proven through the vet unitchecker protocol (-V=full, -flags,
+// .cfg units, vetx fact files).
+func TestVettoolSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	bin := filepath.Join(t.TempDir(), "neurdb-lint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building neurdb-lint: %v\n%s", err, out)
+	}
+
+	badmod, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "testdata", "badmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = badmod
+	var stderr bytes.Buffer
+	vet.Stderr = &stderr
+	err = vet.Run()
+	if err == nil {
+		t.Fatalf("go vet succeeded over the known-bad fixture module; stderr:\n%s", stderr.String())
+	}
+	if _, ok := err.(*exec.ExitError); !ok {
+		t.Fatalf("go vet did not run: %v\n%s", err, stderr.String())
+	}
+
+	type diag struct {
+		file, analyzer, message string
+		line                    int
+	}
+	var got []diag
+	diagRe := regexp.MustCompile(`^(.*\.go):(\d+):\d+: ([a-z]+): (.*)$`)
+	sc := bufio.NewScanner(&stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := diagRe.FindStringSubmatch(line); m != nil {
+			n := 0
+			for _, c := range m[2] {
+				n = n*10 + int(c-'0')
+			}
+			got = append(got, diag{file: filepath.Base(m[1]), analyzer: m[3], message: m[4], line: n})
+		} else if line != "" && !strings.HasPrefix(line, "#") {
+			t.Errorf("unparseable go vet output line: %q", line)
+		}
+	}
+
+	wants := collectWants(t, badmod)
+	for _, d := range got {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.file && w.line == d.line && w.analyzer == d.analyzer && w.re.MatchString(d.message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic %s:%d: %s: %s", d.file, d.line, d.analyzer, d.message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing diagnostic at %s:%d matching %s:%q", w.file, w.line, w.analyzer, w.re)
+		}
+	}
+}
+
+type want struct {
+	file     string
+	line     int
+	analyzer string
+	re       *regexp.Regexp
+	matched  bool
+}
+
+var wantRe = regexp.MustCompile(`([a-z]+):"((?:[^"\\]|\\.)*)"`)
+
+// collectWants scans every fixture .go file for want annotations.
+func collectWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	var wants []*want
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, rest, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			for _, m := range wantRe.FindAllStringSubmatch(rest, -1) {
+				re, err := regexp.Compile(m[2])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, m[2], err)
+				}
+				wants = append(wants, &want{file: filepath.Base(path), line: i + 1, analyzer: m[1], re: re})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}

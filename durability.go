@@ -317,11 +317,14 @@ func (db *DB) Close() error {
 		close(db.stopCkpt)
 		<-db.ckptDone
 	}
+	var sessErr error
 	if db.session != nil {
-		db.session.Close()
+		sessErr = db.session.Close()
 	}
 	if db.wlog != nil {
-		return db.wlog.Close()
+		if err := db.wlog.Close(); err != nil {
+			return err
+		}
 	}
-	return nil
+	return sessErr
 }

@@ -1,0 +1,194 @@
+// Package lint implements neurdb-lint: a suite of static analyzers that
+// mechanically enforce the engine's concurrency, determinism, and durability
+// invariants (docs/ARCHITECTURE.md "Static analysis & enforced invariants").
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis — an
+// Analyzer owns a Run function over a typed, parsed package — but is built
+// on the standard library alone so the module stays dependency-free. The
+// cmd/neurdb-lint binary drives these analyzers either standalone or under
+// `go vet -vettool` (it speaks the vet unitchecker protocol).
+//
+// Each analyzer guards one invariant and is pinned to the package(s) whose
+// layer owns that invariant; outside its packages it reports nothing, so
+// running the whole suite over the whole tree is always safe.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	Name string
+	// Doc is a one-line description shown by `neurdb-lint help`.
+	Doc string
+	// Packages pins the analyzer to import paths. An entry matches the
+	// package with exactly that path; a trailing "/..." matches the
+	// subtree. Empty means every package.
+	Packages []string
+	Run      func(*Pass) error
+}
+
+// AppliesTo reports whether the analyzer runs on the given import path.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if sub, ok := strings.CutSuffix(p, "/..."); ok {
+			if pkgPath == sub || strings.HasPrefix(pkgPath, sub+"/") {
+				return true
+			}
+		} else if pkgPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass carries one package's parsed and typechecked representation through
+// an analyzer run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+	ignores     map[string]map[int]map[string]bool // file -> line -> analyzer set
+}
+
+// Reportf records a diagnostic unless a `//lint:ignore <name> <reason>`
+// directive on the same line or the line above suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.ignored(pos) {
+		return
+	}
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) ignored(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	lines := p.ignores[position.Filename]
+	for _, line := range []int{position.Line, position.Line - 1} {
+		if names, ok := lines[line]; ok {
+			if names[p.Analyzer.Name] || names["all"] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildIgnores indexes `//lint:ignore <name> <reason>` directives. A
+// directive suppresses the named analyzer (or every analyzer, for "all") on
+// its own line and on the line directly below it, so both trailing and
+// leading comment placement work.
+func buildIgnores(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	out := make(map[string]map[int]map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "lint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				position := fset.Position(c.Pos())
+				lines := out[position.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					out[position.Filename] = lines
+				}
+				names := lines[position.Line]
+				if names == nil {
+					names = make(map[string]bool)
+					lines[position.Line] = names
+				}
+				names[fields[0]] = true
+			}
+		}
+	}
+	return out
+}
+
+// Package bundles everything needed to analyze one package.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// RunAnalyzers runs every applicable analyzer over the package and returns
+// the diagnostics sorted by position. Test files are excluded: the
+// invariants are production-code contracts, and under `go vet` the
+// compilation unit for a package's test variant includes its _test.go
+// files.
+func RunAnalyzers(p *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	files := make([]*ast.File, 0, len(p.Files))
+	for _, f := range p.Files {
+		if !strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	ignores := buildIgnores(p.Fset, files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		if !a.AppliesTo(p.Pkg.Path()) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      p.Fset,
+			Files:     files,
+			Pkg:       p.Pkg,
+			TypesInfo: p.Info,
+			ignores:   ignores,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		out = append(out, pass.diagnostics...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// All returns the full neurdb-lint analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{
+		StripeLock,
+		CommitGate,
+		BatchAlias,
+		DetOrder,
+		IOErr,
+	}
+}

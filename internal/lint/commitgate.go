@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CommitGate enforces the WAL commit protocol (PR 7, internal/txn +
+// internal/wal):
+//
+//   - a redo record is appended (AppendCommit) only inside a commit-gate
+//     read-lock window (GateRLock ... GateRUnlock), so a checkpoint cut
+//     under the exclusive gate never observes a half-published commit;
+//   - no version stamp (SetBeginTS/SetEndTS) or status publication
+//     (.status / statusOf[...] = StatusCommitted) happens before the WAL
+//     append in a committing function — a transaction must never be
+//     observable before its redo record is in the log;
+//   - a function that appends a commit record also calls Sync: the commit
+//     may only be acknowledged after the record is durable;
+//   - publishing StatusCommitted in a function that never appends at all
+//     bypasses the log entirely;
+//   - in internal/wal, os.Rename is preceded by a Sync call in the same
+//     function: renaming a file into its final name publishes it, and
+//     publishing before fsync is a torn-checkpoint hole.
+//
+// The checks are linear over each function's call/assignment events in
+// source order — exact for the straight-line commit paths they guard.
+var CommitGate = &Analyzer{
+	Name:     "commitgate",
+	Doc:      "flag commit paths that stamp/publish before the gated WAL append, ack before Sync, or rename before fsync",
+	Packages: []string{"neurdb/internal/txn", "neurdb/internal/wal"},
+	Run:      runCommitGate,
+}
+
+// gateEvent is one protocol-relevant occurrence inside a function body, in
+// source order.
+type gateEvent struct {
+	kind string // "rlock", "runlock", "append", "sync", "stamp", "publish", "rename"
+	pos  token.Pos
+}
+
+func selName(call *ast.CallExpr) (string, ast.Expr) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, fun.X
+	case *ast.Ident:
+		return fun.Name, nil
+	}
+	return "", nil
+}
+
+func isPkgSel(x ast.Expr, pkg string) bool {
+	id, ok := x.(*ast.Ident)
+	return ok && id.Name == pkg
+}
+
+// collectGateEvents walks the function body in source order. Function
+// literals are skipped: they run at another time, on their own event
+// timeline.
+func collectGateEvents(body *ast.BlockStmt) []gateEvent {
+	var events []gateEvent
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			name, recv := selName(n)
+			switch name {
+			case "GateRLock":
+				events = append(events, gateEvent{"rlock", n.Pos()})
+			case "GateRUnlock":
+				events = append(events, gateEvent{"runlock", n.Pos()})
+			case "AppendCommit":
+				events = append(events, gateEvent{"append", n.Pos()})
+			case "Sync":
+				events = append(events, gateEvent{"sync", n.Pos()})
+			case "SetBeginTS", "SetEndTS":
+				events = append(events, gateEvent{"stamp", n.Pos()})
+			case "Rename":
+				if isPkgSel(recv, "os") {
+					events = append(events, gateEvent{"rename", n.Pos()})
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				published := false
+				switch l := lhs.(type) {
+				case *ast.SelectorExpr:
+					published = l.Sel.Name == "status"
+				case *ast.IndexExpr:
+					if sel, ok := l.X.(*ast.SelectorExpr); ok {
+						published = sel.Sel.Name == "statusOf"
+					} else if id, ok := l.X.(*ast.Ident); ok {
+						published = id.Name == "statusOf"
+					}
+				}
+				if !published || i >= len(n.Rhs) {
+					continue
+				}
+				if committedIdent(n.Rhs[i]) {
+					events = append(events, gateEvent{"publish", lhs.Pos()})
+				}
+			}
+		}
+		return true
+	})
+	return events
+}
+
+func committedIdent(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name == "StatusCommitted"
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "StatusCommitted"
+	}
+	return false
+}
+
+func runCommitGate(pass *Pass) error {
+	inWal := pass.Pkg.Path() == "neurdb/internal/wal"
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			events := collectGateEvents(fd.Body)
+			if inWal {
+				// Rule: publish-by-rename only after fsync.
+				synced := false
+				for _, e := range events {
+					switch e.kind {
+					case "sync":
+						synced = true
+					case "rename":
+						if !synced {
+							pass.Reportf(e.pos, "os.Rename publishes a file without a preceding Sync in this function; rename-before-fsync is a torn-file hole on crash")
+						}
+					}
+				}
+				continue
+			}
+
+			var appendPos []token.Pos
+			for _, e := range events {
+				if e.kind == "append" {
+					appendPos = append(appendPos, e.pos)
+				}
+			}
+			var publishes []gateEvent
+			for _, e := range events {
+				if e.kind == "publish" {
+					publishes = append(publishes, e)
+				}
+			}
+			if len(appendPos) == 0 {
+				// Rule: StatusCommitted must not be published by a
+				// function that never appends a redo record.
+				for _, e := range publishes {
+					pass.Reportf(e.pos, "publishes StatusCommitted without any WAL AppendCommit in this function; a commit must be logged before it becomes observable")
+				}
+				continue
+			}
+
+			firstAppend := appendPos[0]
+			gateDepth := 0
+			sawSync := false
+			for _, e := range events {
+				switch e.kind {
+				case "rlock":
+					gateDepth++
+				case "runlock":
+					gateDepth--
+				case "append":
+					if gateDepth <= 0 {
+						pass.Reportf(e.pos, "AppendCommit outside a commit-gate RLock window; the append must happen under GateRLock so a checkpoint cut never sees a half-published commit")
+					}
+				case "stamp", "publish":
+					if e.pos < firstAppend {
+						pass.Reportf(e.pos, "stamps/publishes transaction state before the WAL append; the redo record must reach the log before the commit becomes observable")
+					}
+				case "sync":
+					sawSync = true
+				}
+			}
+			if !sawSync {
+				pass.Reportf(firstAppend, "commit path appends to the WAL but never calls Sync; the commit must not be acknowledged before its record is durable")
+			}
+		}
+	}
+	return nil
+}

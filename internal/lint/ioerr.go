@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// IOErr enforces the durability contract of the persistence layer (PR 7,
+// internal/wal + the root-package durability surface): an error returned by
+// Sync, Close, Flush, Rename, Remove, or Truncate on those paths is a
+// durability event — a silently dropped one can acknowledge a commit whose
+// bytes never reached the platter. The analyzer flags calls to those
+// functions used as bare statements (or deferred) when the call returns an
+// error that nothing consumes.
+//
+// An explicit `_ = f.Close()` is accepted: it is a visible, reviewable
+// declaration that the error is intentionally dropped (error-path cleanup
+// where the original error is already being returned).
+var IOErr = &Analyzer{
+	Name: "ioerr",
+	Doc:  "flag discarded errors from Sync/Close/Flush/Rename/Remove/Truncate in the durability layer",
+	Packages: []string{
+		"neurdb/internal/wal",
+		"neurdb", // filtered to durability.go below
+	},
+	Run: runIOErr,
+}
+
+// ioErrFuncs are the durability-relevant operations.
+var ioErrFuncs = map[string]bool{
+	"Sync":     true,
+	"Close":    true,
+	"Flush":    true,
+	"Rename":   true,
+	"Remove":   true,
+	"Truncate": true,
+}
+
+// returnsError reports whether the call's result type is exactly `error` or
+// a tuple whose last element is `error`.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(tup.Len() - 1).Type()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+func runIOErr(pass *Pass) error {
+	inRoot := pass.Pkg.Path() == "neurdb"
+	for _, f := range pass.Files {
+		if inRoot {
+			// In the root package only the durability surface is held to
+			// this standard; session/demo code may drop Close errors.
+			name := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+			if name != "durability.go" {
+				continue
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			}
+			if call == nil {
+				return true
+			}
+			name, _ := selName(call)
+			if !ioErrFuncs[name] || !returnsError(pass.TypesInfo, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s error discarded on a durability path; handle it or make the drop explicit with `_ = ...`", name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package lint_test
+
+import (
+	"testing"
+
+	"neurdb/internal/lint"
+	"neurdb/internal/lint/linttest"
+)
+
+// The fixture module seeds at least one true positive per analyzer alongside
+// clean counterparts (the blessed idioms) that must stay diagnostic-free;
+// linttest checks both directions against the `// want` annotations.
+
+const badmod = "testdata/badmod"
+
+func TestStripeLock(t *testing.T) {
+	linttest.Run(t, badmod, lint.StripeLock, "neurdb/internal/txn")
+}
+
+func TestCommitGateTxn(t *testing.T) {
+	linttest.Run(t, badmod, lint.CommitGate, "neurdb/internal/txn")
+}
+
+func TestCommitGateWal(t *testing.T) {
+	linttest.Run(t, badmod, lint.CommitGate, "neurdb/internal/wal")
+}
+
+func TestIOErr(t *testing.T) {
+	linttest.Run(t, badmod, lint.IOErr, "neurdb/internal/wal")
+}
+
+func TestDetOrder(t *testing.T) {
+	linttest.Run(t, badmod, lint.DetOrder, "neurdb/internal/wire")
+}
+
+func TestBatchAlias(t *testing.T) {
+	linttest.Run(t, badmod, lint.BatchAlias, "neurdb/internal/executor")
+}
+
+// TestAnalyzerPinning proves an analyzer is inert outside its packages: the
+// executor fixture is full of batch aliasing, but stripelock (pinned to
+// internal/txn) must not report there — running the whole suite over the
+// whole tree stays safe.
+func TestAnalyzerPinning(t *testing.T) {
+	if lint.StripeLock.AppliesTo("neurdb/internal/executor") {
+		t.Fatal("stripelock should not apply outside internal/txn")
+	}
+	if !lint.StripeLock.AppliesTo("neurdb/internal/txn") {
+		t.Fatal("stripelock should apply to internal/txn")
+	}
+	if !lint.IOErr.AppliesTo("neurdb") {
+		t.Fatal("ioerr should apply to the root package")
+	}
+	if lint.IOErr.AppliesTo("neurdbx") {
+		t.Fatal("package matching must be path-segment exact")
+	}
+}

@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader typechecks packages of a single Go module from source, resolving
+// module-internal imports by directory and standard-library imports through
+// the compiler's source importer. It exists so neurdb-lint can run standalone
+// (`neurdb-lint ./...`) and so analyzer tests can load fixture modules —
+// without golang.org/x/tools/go/packages, which this module deliberately does
+// not depend on.
+type Loader struct {
+	// Root is the module root directory (the one containing go.mod).
+	Root string
+	// Module is the module path from go.mod (e.g. "neurdb").
+	Module string
+
+	fset   *token.FileSet
+	stdlib types.Importer
+	cache  map[string]*Package
+	// loading guards against import cycles.
+	loading map[string]bool
+}
+
+// NewLoader returns a loader for the module rooted at dir, reading the
+// module path from its go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: loader: %w", err)
+	}
+	mod := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			mod = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if mod == "" {
+		return nil, fmt.Errorf("lint: loader: no module directive in %s/go.mod", dir)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:    dir,
+		Module:  mod,
+		fset:    fset,
+		stdlib:  importer.ForCompiler(fset, "source", nil),
+		cache:   make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// dirFor maps a module-internal import path to its directory.
+func (l *Loader) dirFor(path string) string {
+	if path == l.Module {
+		return l.Root
+	}
+	rel := strings.TrimPrefix(path, l.Module+"/")
+	return filepath.Join(l.Root, filepath.FromSlash(rel))
+}
+
+// goFiles lists the non-test .go files of dir that match the current build
+// context (so files behind build tags like `invariants` are filtered the
+// same way `go build` filters them).
+func (l *Loader) goFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		match, err := ctx.MatchFile(dir, name)
+		if err != nil {
+			return nil, err
+		}
+		if match {
+			files = append(files, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// Import implements types.Importer: stdlib paths go to the source importer,
+// module-internal paths are loaded recursively.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return l.stdlib.Import(path)
+}
+
+// Load parses and typechecks the package at the given module-internal import
+// path, memoized.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirFor(path)
+	files, err := l.goFiles(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: %s: no Go files in %s", path, dir)
+	}
+	var asts []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(l.fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	tpkg, err := conf.Check(path, l.fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+	}
+	p := &Package{Fset: l.fset, Files: asts, Pkg: tpkg, Info: info}
+	l.cache[path] = p
+	return p, nil
+}
+
+// Walk returns the import paths of every package under the module root, in
+// lexical order, skipping testdata, hidden directories, and directories with
+// no buildable Go files.
+func (l *Loader) Walk() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, err := l.goFiles(path)
+		if err != nil || len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(l.Root, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			paths = append(paths, l.Module)
+		} else {
+			paths = append(paths, l.Module+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}

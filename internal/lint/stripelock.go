@@ -1,0 +1,364 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// StripeLock enforces the deadlock-freedom-by-construction invariant of the
+// striped write path (PR 6, internal/txn): a transaction holds at most one
+// write-claim stripe at a time. Acquiring a second stripe — directly via
+// lockStripe / stripes[i].mu.Lock, or by calling a function that acquires
+// one — while a stripe is held reintroduces the lock-ordering problem the
+// stripe design eliminated, so it is reported at the acquisition site.
+//
+// The analysis is syntactic but branch-aware: it tracks stripe-lock depth
+// through blocks, branches, and loops in source order, treats an acquire in
+// an `if` condition whose body terminates (the TryLock fast path) as not
+// escaping the `if`, and propagates "may acquire a stripe" through the
+// package-local call graph so indirect acquisitions are caught too.
+var StripeLock = &Analyzer{
+	Name:     "stripelock",
+	Doc:      "flag acquiring a second write stripe while one is held (internal/txn)",
+	Packages: []string{"neurdb/internal/txn"},
+	Run:      runStripeLock,
+}
+
+// isStripeMutexSel reports whether expr is a selector of the form
+// `<...>.stripes[i].mu` — the claim-stripe mutex.
+func isStripeMutexSel(expr ast.Expr) bool {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "mu" {
+		return false
+	}
+	idx, ok := sel.X.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	switch x := idx.X.(type) {
+	case *ast.SelectorExpr:
+		return x.Sel.Name == "stripes"
+	case *ast.Ident:
+		return x.Name == "stripes"
+	}
+	return false
+}
+
+// classifyStripeCall classifies a call as a stripe acquire, release, or
+// neither, and returns the bare callee name for call-graph edges.
+func classifyStripeCall(call *ast.CallExpr) (acquire, release bool, callee string) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		callee = fun.Name
+	case *ast.SelectorExpr:
+		callee = fun.Sel.Name
+		switch fun.Sel.Name {
+		case "Lock", "TryLock":
+			if isStripeMutexSel(fun.X) {
+				return true, false, callee
+			}
+		case "Unlock":
+			if isStripeMutexSel(fun.X) {
+				return false, true, callee
+			}
+		}
+	}
+	switch callee {
+	case "lockStripe":
+		return true, false, callee
+	case "unlockStripe":
+		return false, true, callee
+	}
+	return false, false, callee
+}
+
+// stripeScan walks one function body tracking stripe-lock depth.
+type stripeScan struct {
+	pass *Pass
+	// mayAcquire maps package-local function names to whether they
+	// (transitively) acquire a stripe.
+	mayAcquire map[string]bool
+	// funcs queues function literals for their own depth-0 scan.
+	funcs []*ast.FuncLit
+}
+
+// scanExprs processes the call events inside exprs in source order at the
+// given depth, reporting double acquisitions, and returns the new depth.
+// Function literals are queued for independent scanning, not inlined: a
+// closure body runs on its own goroutine or at a later time, so it starts
+// with no stripe held.
+func (s *stripeScan) scanExprs(depth int, exprs ...ast.Expr) int {
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				s.funcs = append(s.funcs, n)
+				return false
+			case *ast.CallExpr:
+				// Arguments evaluate before the call: recurse first.
+				for _, arg := range n.Args {
+					depth = s.scanExprs(depth, arg)
+				}
+				acq, rel, callee := classifyStripeCall(n)
+				switch {
+				case acq:
+					if depth > 0 {
+						s.pass.Reportf(n.Pos(), "acquires a write stripe while another stripe is held; a txn must hold at most one stripe at a time (deadlock-freedom by construction)")
+					}
+					depth++
+				case rel:
+					if depth > 0 {
+						depth--
+					}
+				default:
+					if depth > 0 && s.mayAcquire[callee] {
+						s.pass.Reportf(n.Pos(), "calls %s, which acquires a write stripe, while a stripe is held; a txn must hold at most one stripe at a time", callee)
+					}
+				}
+				return false
+			}
+			return true
+		})
+	}
+	return depth
+}
+
+// terminates reports whether the statement list ends in an unconditional
+// transfer of control (return or panic).
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scanStmts processes a statement list at the given entry depth and returns
+// the exit depth.
+func (s *stripeScan) scanStmts(depth int, stmts []ast.Stmt) int {
+	for _, st := range stmts {
+		depth = s.scanStmt(depth, st)
+	}
+	return depth
+}
+
+func (s *stripeScan) scanStmt(depth int, st ast.Stmt) int {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		return s.scanExprs(depth, st.X)
+	case *ast.AssignStmt:
+		depth = s.scanExprs(depth, st.Rhs...)
+		return s.scanExprs(depth, st.Lhs...)
+	case *ast.ReturnStmt:
+		return s.scanExprs(depth, st.Results...)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					depth = s.scanExprs(depth, vs.Values...)
+				}
+			}
+		}
+		return depth
+	case *ast.DeferStmt:
+		// A deferred release happens at function exit, not here; a
+		// deferred stripe acquire is nonsensical. Scan only the
+		// arguments (evaluated now), not the call effect.
+		return s.scanExprs(depth, st.Call.Args...)
+	case *ast.GoStmt:
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			s.funcs = append(s.funcs, lit)
+		}
+		return s.scanExprs(depth, st.Call.Args...)
+	case *ast.SendStmt:
+		depth = s.scanExprs(depth, st.Value)
+		return s.scanExprs(depth, st.Chan)
+	case *ast.IncDecStmt:
+		return s.scanExprs(depth, st.X)
+	case *ast.LabeledStmt:
+		return s.scanStmt(depth, st.Stmt)
+	case *ast.BlockStmt:
+		return s.scanStmts(depth, st.List)
+	case *ast.IfStmt:
+		depth = s.scanStmt(depth, st.Init)
+		// The TryLock fast path: an acquire in the condition whose
+		// success branch returns does not hold past the if for the
+		// fall-through path.
+		before := depth
+		depth = s.scanExprs(depth, st.Cond)
+		condAcquired := depth - before
+		bodyEntry := depth
+		bodyExit := s.scanStmts(bodyEntry, st.Body.List)
+		bodyTerm := terminates(st.Body.List)
+		afterCond := depth
+		if condAcquired > 0 && bodyTerm {
+			// The acquired-path returned inside the body; the
+			// fall-through continues without the lock.
+			afterCond = before
+		}
+		if st.Else != nil {
+			elseExit := s.scanStmt(afterCond, st.Else)
+			elseTerm := false
+			if blk, ok := st.Else.(*ast.BlockStmt); ok {
+				elseTerm = terminates(blk.List)
+			}
+			switch {
+			case bodyTerm && elseTerm:
+				return afterCond
+			case bodyTerm:
+				return elseExit
+			case elseTerm:
+				return bodyExit
+			default:
+				return min(bodyExit, elseExit)
+			}
+		}
+		if bodyTerm {
+			return afterCond
+		}
+		return min(bodyExit, afterCond)
+	case *ast.ForStmt:
+		depth = s.scanStmt(depth, st.Init)
+		depth = s.scanExprs(depth, st.Cond)
+		exit := s.scanStmts(depth, st.Body.List)
+		exit = s.scanStmt(exit, st.Post)
+		if exit > depth {
+			// The body leaks a stripe across iterations: scan once
+			// more starting at the leaked depth so the second
+			// iteration's acquire is reported.
+			s.scanStmts(exit, st.Body.List)
+			return exit
+		}
+		return depth
+	case *ast.RangeStmt:
+		depth = s.scanExprs(depth, st.X)
+		exit := s.scanStmts(depth, st.Body.List)
+		if exit > depth {
+			s.scanStmts(exit, st.Body.List)
+			return exit
+		}
+		return depth
+	case *ast.SwitchStmt:
+		depth = s.scanStmt(depth, st.Init)
+		depth = s.scanExprs(depth, st.Tag)
+		return s.scanCases(depth, st.Body)
+	case *ast.TypeSwitchStmt:
+		depth = s.scanStmt(depth, st.Init)
+		depth = s.scanStmt(depth, st.Assign)
+		return s.scanCases(depth, st.Body)
+	case *ast.SelectStmt:
+		return s.scanCases(depth, st.Body)
+	}
+	return depth
+}
+
+// scanCases scans each case clause from the shared entry depth and merges
+// the exits of the non-terminating branches with min (lenient: precision
+// over recall, a linter must not cry wolf).
+func (s *stripeScan) scanCases(depth int, body *ast.BlockStmt) int {
+	exit := -1
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			depth = s.scanExprs(depth, c.List...)
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				depth = s.scanStmt(depth, c.Comm)
+			}
+			stmts = c.Body
+		}
+		e := s.scanStmts(depth, stmts)
+		if !terminates(stmts) && (exit == -1 || e < exit) {
+			exit = e
+		}
+	}
+	if exit == -1 {
+		return depth
+	}
+	return exit
+}
+
+// directlyAcquires reports whether the function body contains a direct
+// stripe acquisition anywhere (conditionally or not).
+func directlyAcquires(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if acq, _, _ := classifyStripeCall(call); acq {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func runStripeLock(pass *Pass) error {
+	// Pass 1: package-local call graph and direct-acquire set.
+	calls := make(map[string][]string) // function name -> callee names
+	acquires := make(map[string]bool)
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			decls = append(decls, fd)
+			name := fd.Name.Name
+			if directlyAcquires(fd.Body) {
+				acquires[name] = true
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if _, _, callee := classifyStripeCall(call); callee != "" {
+						calls[name] = append(calls[name], callee)
+					}
+				}
+				return true
+			})
+		}
+	}
+	// Fixpoint: a function may acquire if any callee may acquire. Matching
+	// is by bare name — package-local and conservative.
+	for changed := true; changed; {
+		changed = false
+		for name, callees := range calls {
+			if acquires[name] {
+				continue
+			}
+			for _, c := range callees {
+				if acquires[c] {
+					acquires[name] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Pass 2: depth scan of every function (and queued literals).
+	for _, fd := range decls {
+		s := &stripeScan{pass: pass, mayAcquire: acquires}
+		s.scanStmts(0, fd.Body.List)
+		for len(s.funcs) > 0 {
+			lit := s.funcs[0]
+			s.funcs = s.funcs[1:]
+			s.scanStmts(0, lit.Body.List)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module neurdb
+
+go 1.24

@@ -1,0 +1,15 @@
+// Package rel is a miniature stand-in for neurdb/internal/rel: just enough
+// surface for the lint fixtures to typecheck under the same import path the
+// analyzers pin to.
+package rel
+
+// Row is one tuple.
+type Row struct {
+	Vals []int64
+}
+
+// Batch is a recycled scratch buffer of rows, as in the real engine: the
+// Rows slice is reused across fills.
+type Batch struct {
+	Rows []Row
+}

@@ -1,0 +1,23 @@
+// Package storage is a miniature stand-in for neurdb/internal/storage.
+package storage
+
+// Version is one row version.
+type Version struct {
+	Data []byte
+}
+
+// BatchCursor iterates page head slices, recycling the backing array every
+// page like the real cursor does.
+type BatchCursor struct {
+	heads []*Version
+	pages uint32
+}
+
+// NextPage returns the next page's id and recycled head slice.
+func (c *BatchCursor) NextPage() (uint32, []*Version, bool) {
+	if c.pages == 0 {
+		return 0, nil, false
+	}
+	c.pages--
+	return c.pages, c.heads, true
+}

@@ -1,0 +1,161 @@
+// Package txn seeds stripelock and commitgate violations (and their clean
+// counterparts) for the neurdb-lint fixture module.
+package txn
+
+import "sync"
+
+// Status mirrors the real transaction status enum.
+type Status uint8
+
+// Statuses.
+const (
+	StatusActive Status = iota
+	StatusCommitted
+	StatusAborted
+)
+
+type writeStripe struct {
+	mu sync.Mutex
+}
+
+// Txn is a miniature transaction.
+type Txn struct {
+	ID     uint64
+	status Status
+	begin  uint64
+	end    uint64
+}
+
+// SetBeginTS stamps the begin timestamp.
+func (t *Txn) SetBeginTS(ts uint64) { t.begin = ts }
+
+// SetEndTS stamps the end timestamp.
+func (t *Txn) SetEndTS(ts uint64) { t.end = ts }
+
+// CommitLog mirrors the real WAL commit surface.
+type CommitLog interface {
+	GateRLock()
+	GateRUnlock()
+	AppendCommit(cts uint64, ops []byte) (uint64, error)
+	Sync(lsn uint64) error
+}
+
+// Manager is a miniature transaction manager with striped write claims.
+type Manager struct {
+	stripes  [8]writeStripe
+	log      CommitLog
+	statusOf map[uint64]Status
+}
+
+// lockStripe is the real engine's TryLock fast path: the acquire in the if
+// condition returns on success, so the fall-through Lock is the first
+// acquisition on that path — clean.
+func (m *Manager) lockStripe(i int) {
+	if m.stripes[i].mu.TryLock() {
+		return
+	}
+	m.stripes[i].mu.Lock()
+}
+
+func (m *Manager) unlockStripe(i int) {
+	m.stripes[i].mu.Unlock()
+}
+
+// singleStripe is the disciplined shape: one stripe at a time — clean.
+func (m *Manager) singleStripe(i, j int) {
+	m.lockStripe(i)
+	m.stripes[i].mu.Unlock()
+	m.lockStripe(j)
+	m.stripes[j].mu.Unlock()
+}
+
+// doubleDirect acquires a second stripe while holding the first.
+func (m *Manager) doubleDirect(i, j int) {
+	m.lockStripe(i)
+	m.lockStripe(j) // want stripelock:"acquires a write stripe while another stripe is held"
+	m.stripes[j].mu.Unlock()
+	m.stripes[i].mu.Unlock()
+}
+
+// helperAcquire acquires a stripe; callers holding one must not call it.
+func (m *Manager) helperAcquire(i int) {
+	m.lockStripe(i)
+	m.stripes[i].mu.Unlock()
+}
+
+// indirect nests through the package-local call graph.
+func (m *Manager) indirect(i, j int) {
+	m.lockStripe(i)
+	m.helperAcquire(j) // want stripelock:"calls helperAcquire, which acquires a write stripe"
+	m.stripes[i].mu.Unlock()
+}
+
+// loopLeak never releases inside the loop, so the second iteration acquires
+// while the first iteration's stripe is held.
+func (m *Manager) loopLeak(n int) {
+	for i := 0; i < n; i++ {
+		m.lockStripe(i) // want stripelock:"acquires a write stripe while another stripe is held"
+	}
+}
+
+// suppressed shows the escape hatch: the directive names the analyzer and a
+// reason, and the diagnostic is withheld.
+func (m *Manager) suppressed(i, j int) {
+	m.lockStripe(i)
+	//lint:ignore stripelock fixture: proving the suppression path
+	m.lockStripe(j)
+	m.stripes[j].mu.Unlock()
+	m.stripes[i].mu.Unlock()
+}
+
+// commitClean is the blessed protocol: gated append, then stamps, then
+// publication, then durable sync — clean.
+func (m *Manager) commitClean(t *Txn, cts uint64) error {
+	m.log.GateRLock()
+	lsn, err := m.log.AppendCommit(cts, nil)
+	if err != nil {
+		m.log.GateRUnlock()
+		return err
+	}
+	t.SetEndTS(cts)
+	t.status = StatusCommitted
+	m.statusOf[t.ID] = StatusCommitted
+	m.log.GateRUnlock()
+	return m.log.Sync(lsn)
+}
+
+// commitStampEarly stamps the transaction before its redo record exists.
+func (m *Manager) commitStampEarly(t *Txn, cts uint64) error {
+	t.SetEndTS(cts) // want commitgate:"before the WAL append"
+	m.log.GateRLock()
+	lsn, err := m.log.AppendCommit(cts, nil)
+	m.log.GateRUnlock()
+	if err != nil {
+		return err
+	}
+	return m.log.Sync(lsn)
+}
+
+// commitNoGate appends outside the commit-gate window.
+func (m *Manager) commitNoGate(t *Txn, cts uint64) error {
+	lsn, err := m.log.AppendCommit(cts, nil) // want commitgate:"outside a commit-gate RLock window"
+	if err != nil {
+		return err
+	}
+	t.status = StatusCommitted
+	return m.log.Sync(lsn)
+}
+
+// commitNoSync acknowledges without making the record durable.
+func (m *Manager) commitNoSync(t *Txn, cts uint64) error {
+	m.log.GateRLock()
+	_, err := m.log.AppendCommit(cts, nil) // want commitgate:"never calls Sync"
+	m.log.GateRUnlock()
+	t.status = StatusCommitted
+	return err
+}
+
+// publishNoAppend makes a commit observable that was never logged.
+func (m *Manager) publishNoAppend(t *Txn) {
+	t.status = StatusCommitted // want commitgate:"without any WAL AppendCommit"
+}

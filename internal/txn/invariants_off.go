@@ -1,0 +1,11 @@
+//go:build !invariants
+
+package txn
+
+// In normal builds the stripe-discipline hooks compile to nothing; the
+// invariant is enforced statically by neurdb-lint (stripelock) and, under
+// -tags=invariants, by the runtime assertions in invariants_on.go.
+
+func stripeEnter() {}
+
+func stripeExit() {}

@@ -1,0 +1,52 @@
+//go:build invariants
+
+package txn
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// Built with -tags=invariants, the engine carries cheap runtime assertions
+// for the invariants neurdb-lint enforces statically: here, the stripe
+// discipline — a goroutine holds at most one write-claim stripe at a time.
+// The static analyzer (internal/lint, stripelock) proves this for the code
+// it can see; the runtime counter catches what escapes analysis (calls
+// through interfaces, future code paths) the moment it happens, with a
+// panic naming the invariant instead of a silent deadlock.
+
+// stripeHeld maps goroutine id -> held-stripe count (0 entries are removed).
+var stripeHeld sync.Map
+
+// goid parses the current goroutine's id from the stack header
+// ("goroutine 123 [running]:"). Slow, which is fine: this file only builds
+// under the invariants tag.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	fields := bytes.Fields(buf[:n])
+	if len(fields) < 2 {
+		return 0
+	}
+	id, _ := strconv.ParseUint(string(fields[1]), 10, 64)
+	return id
+}
+
+func stripeEnter() {
+	id := goid()
+	if held, ok := stripeHeld.Load(id); ok && held.(int) > 0 {
+		panic("txn: invariant violated: goroutine acquired a second write stripe while holding one (stripe discipline: at most one stripe per txn at a time)")
+	}
+	stripeHeld.Store(id, 1)
+}
+
+func stripeExit() {
+	id := goid()
+	held, ok := stripeHeld.Load(id)
+	if !ok || held.(int) <= 0 {
+		panic("txn: invariant violated: write stripe released by a goroutine that holds none")
+	}
+	stripeHeld.Delete(id)
+}

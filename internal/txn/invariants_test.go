@@ -1,0 +1,30 @@
+//go:build invariants
+
+package txn
+
+import "testing"
+
+// TestStripeNestingPanics proves the -tags=invariants runtime assertion
+// fires on the exact violation neurdb-lint's stripelock analyzer flags
+// statically: acquiring a second write stripe while one is held.
+func TestStripeNestingPanics(t *testing.T) {
+	stripeEnter()
+	defer stripeExit()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested stripe acquire did not panic under -tags=invariants")
+		}
+	}()
+	stripeEnter()
+}
+
+// TestStripeReleaseUnheldPanics covers the other direction: releasing a
+// stripe this goroutine does not hold.
+func TestStripeReleaseUnheldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unheld stripe release did not panic under -tags=invariants")
+		}
+	}()
+	stripeExit()
+}

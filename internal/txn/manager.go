@@ -239,12 +239,19 @@ func stripeIndex(table int, page uint32) uint32 {
 // lockStripe acquires one claim stripe, counting contention for the
 // txn.stripe_wait series.
 func (m *Manager) lockStripe(i uint32) {
+	stripeEnter()
 	m.stripeClaims.Add(1)
 	if m.stripes[i].mu.TryLock() {
 		return
 	}
 	m.stripeWaits.Add(1)
 	m.stripes[i].mu.Lock()
+}
+
+// unlockStripe releases one claim stripe.
+func (m *Manager) unlockStripe(i uint32) {
+	stripeExit()
+	m.stripes[i].mu.Unlock()
 }
 
 // StripeStats reports cumulative claim-stripe acquisitions and how many of
@@ -473,7 +480,7 @@ func (m *Manager) modify(h *storage.Heap, id storage.RowID, newRow rel.Row, t *T
 	si := stripeIndex(h.TableID, id.Page)
 	m.lockStripe(si)
 	rec, err := m.claimLocked(h, id, h.Head(id), newRow, t, kind)
-	m.stripes[si].mu.Unlock()
+	m.unlockStripe(si)
 	if err != nil {
 		return err
 	}
@@ -574,7 +581,7 @@ func (m *Manager) modifyBatch(h *storage.Heap, ids []storage.RowID, newRows []re
 			}
 			recs = append(recs, rec)
 		}
-		m.stripes[si].mu.Unlock()
+		m.unlockStripe(si)
 		start = end
 	}
 	if len(recs) > 0 {
@@ -785,7 +792,7 @@ func (m *Manager) abortInternal(t *Txn, ssi bool) {
 			}
 			i--
 		}
-		m.stripes[si].mu.Unlock()
+		m.unlockStripe(si)
 	}
 	if delN > 0 {
 		delHeap.NoteDeleteN(delN)

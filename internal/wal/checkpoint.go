@@ -232,22 +232,25 @@ func WriteCheckpoint(dir string, ck *Checkpoint) error {
 	if err != nil {
 		return err
 	}
+	// On the error paths the primary failure is the error to report; the
+	// cleanup drops are explicit, and an orphaned .tmp is harmless (never
+	// matched by the checkpoint loader).
 	if _, err := f.Write(data); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = os.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = os.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return err
 	}
 	return syncDir(dir)

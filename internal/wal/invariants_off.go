@@ -1,0 +1,13 @@
+//go:build !invariants
+
+package wal
+
+// In normal builds the gate-protocol hooks compile to nothing; the
+// invariant is enforced statically by neurdb-lint (commitgate) and, under
+// -tags=invariants, by the runtime assertions in invariants_on.go.
+
+func gateEnter() {}
+
+func gateExit() {}
+
+func assertGated() {}

@@ -1,0 +1,30 @@
+//go:build invariants
+
+package wal
+
+import "sync/atomic"
+
+// Built with -tags=invariants, the log asserts the commit-gate protocol at
+// runtime: AppendCommit must run inside a gate window (read side for
+// commits; the exclusive side also counts, covering DDL and recovery).
+// neurdb-lint's commitgate analyzer proves this statically for the commit
+// paths it can see; the counter catches any appender that reaches the log
+// another way.
+
+// gateHolders counts goroutines currently inside a gate window (read or
+// exclusive).
+var gateHolders atomic.Int64
+
+func gateEnter() { gateHolders.Add(1) }
+
+func gateExit() {
+	if gateHolders.Add(-1) < 0 {
+		panic("wal: invariant violated: commit gate released more times than acquired")
+	}
+}
+
+func assertGated() {
+	if gateHolders.Load() <= 0 {
+		panic("wal: invariant violated: AppendCommit outside a commit-gate window (append must be covered by GateRLock so a checkpoint cut never sees a half-published commit)")
+	}
+}

@@ -1,0 +1,25 @@
+//go:build invariants
+
+package wal
+
+import "testing"
+
+// TestAppendOutsideGatePanics proves the -tags=invariants runtime assertion
+// fires on the violation neurdb-lint's commitgate analyzer flags statically:
+// an append with no gate window open.
+func TestAppendOutsideGatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ungated assertGated did not panic under -tags=invariants")
+		}
+	}()
+	assertGated()
+}
+
+// TestAppendInsideGatePasses is the positive direction: inside a window the
+// assertion is silent.
+func TestAppendInsideGatePasses(t *testing.T) {
+	gateEnter()
+	defer gateExit()
+	assertGated()
+}

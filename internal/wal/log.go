@@ -199,13 +199,13 @@ func (l *Log) openSegmentLocked(seq uint64) error {
 	copy(hdr[:], segmentMagic[:])
 	binary.LittleEndian.PutUint64(hdr[8:], seq)
 	if _, err := f.Write(hdr[:]); err != nil {
-		f.Close()
+		_ = f.Close() // error path: the write failure is the error to report
 		return err
 	}
 	// Make the directory entry durable now: a commit fsync later only
 	// covers the file's data, not its existence in the directory.
 	if err := syncDir(l.dir); err != nil {
-		f.Close()
+		_ = f.Close() // error path: the dir-sync failure is the error to report
 		return err
 	}
 	l.f = f
@@ -257,20 +257,33 @@ func ListSegments(dir string) ([]SegmentRef, error) {
 // GateRLock enters a commit window: held from commit-timestamp draw through
 // in-memory publication so the checkpointer can exclude half-published
 // commits from its cut.
-func (l *Log) GateRLock() { l.gate.RLock() }
+func (l *Log) GateRLock() {
+	l.gate.RLock()
+	gateEnter()
+}
 
 // GateRUnlock leaves a commit window.
-func (l *Log) GateRUnlock() { l.gate.RUnlock() }
+func (l *Log) GateRUnlock() {
+	gateExit()
+	l.gate.RUnlock()
+}
 
 // GateLock excludes all commit windows (checkpoint cut, DDL ordering).
-func (l *Log) GateLock() { l.gate.Lock() }
+func (l *Log) GateLock() {
+	l.gate.Lock()
+	gateEnter()
+}
 
 // GateUnlock releases the exclusive gate.
-func (l *Log) GateUnlock() { l.gate.Unlock() }
+func (l *Log) GateUnlock() {
+	gateExit()
+	l.gate.Unlock()
+}
 
 // AppendCommit appends one committed transaction's redo record and returns
 // its LSN for Sync. The caller holds the gate (read side).
 func (l *Log) AppendCommit(cts uint64, ops []Op) (uint64, error) {
+	assertGated()
 	l.mu.Lock()
 	l.scratch = encodeCommit(l.scratch[:0], cts, ops)
 	lsn, err := l.appendLocked(l.scratch)
@@ -448,7 +461,10 @@ func (l *Log) Rotate() (sealed uint64, err error) {
 		l.bw.Reset(old)
 		return 0, err
 	}
-	old.Close()
+	// The sealed segment's bytes are already durable (syncNow above) and
+	// the rotation has committed — a descriptor-release failure here must
+	// not be reported as a failed rotation.
+	_ = old.Close()
 	return sealed, nil
 }
 

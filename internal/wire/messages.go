@@ -3,6 +3,7 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"neurdb/internal/rel"
 )
@@ -186,9 +187,16 @@ func (m *Startup) op() Op { return OpStartup }
 func (m *Startup) encode(dst []byte) []byte {
 	dst = appendU32(dst, m.Version)
 	dst = appendU16(dst, uint16(len(m.Options)))
-	for k, v := range m.Options {
+	// Sorted keys keep the encoding byte-identical across runs; map order
+	// would leak Go's per-process iteration randomization onto the wire.
+	keys := make([]string, 0, len(m.Options))
+	for k := range m.Options {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
 		dst = appendString(dst, k)
-		dst = appendString(dst, v)
+		dst = appendString(dst, m.Options[k])
 	}
 	return dst
 }
