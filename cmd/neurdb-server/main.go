@@ -32,6 +32,9 @@ func main() {
 	walSyncIv := flag.Duration("wal-sync-interval", 2*time.Millisecond, "background fsync period for -wal-sync=interval")
 	ckptIv := flag.Duration("ckpt", time.Minute, "background checkpoint interval (0 = disabled)")
 	ckptWalMB := flag.Int("ckpt-wal-mb", 64, "checkpoint when the WAL grows this many MiB (0 = no size trigger)")
+	maxConns := flag.Int("max-conns", 0, "max concurrent connections; further clients get a typed TOO_MANY_CONNS refusal (0 = unlimited)")
+	stmtTimeout := flag.Duration("stmt-timeout", 0, "per-statement execution bound, overridable per session via SET statement_timeout (0 = disabled)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "sever connections idle longer than this between commands (0 = disabled)")
 	flag.Parse()
 
 	cfg := neurdb.DefaultConfig()
@@ -41,12 +44,17 @@ func main() {
 	cfg.WalSyncInterval = *walSyncIv
 	cfg.CheckpointInterval = *ckptIv
 	cfg.CheckpointWalMB = *ckptWalMB
+	cfg.StatementTimeout = *stmtTimeout
 	db, err := neurdb.OpenDB(cfg)
 	if err != nil {
 		log.Fatalf("neurdb-server: recovery failed: %v", err)
 	}
 
-	srv := server.New(db, server.Config{MaxFrame: *maxFrame})
+	srv := server.New(db, server.Config{
+		MaxFrame:    *maxFrame,
+		MaxConns:    *maxConns,
+		IdleTimeout: *idleTimeout,
+	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)

@@ -31,6 +31,7 @@
 package neurdb
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -53,8 +54,21 @@ import (
 	"neurdb/internal/stats"
 	"neurdb/internal/storage"
 	"neurdb/internal/txn"
+	"neurdb/internal/vfs"
 	"neurdb/internal/wal"
 )
+
+// ErrReadOnly reports that the database has degraded to read-only because
+// its write-ahead log poisoned (a failed fsync). Reads keep serving; every
+// write statement and commit fails with an error wrapping this sentinel
+// until the process is restarted and recovery replays the durable prefix.
+// It aliases txn.ErrReadOnly so errors.Is matches across layers.
+var ErrReadOnly = txn.ErrReadOnly
+
+// ErrStatementTimeout reports that a statement exceeded the configured
+// statement timeout (Config.StatementTimeout / SET statement_timeout) and
+// was stopped at a batch boundary.
+var ErrStatementTimeout = errors.New("statement timeout exceeded")
 
 // OptimizerMode selects how SELECT plans are chosen.
 type OptimizerMode string
@@ -109,6 +123,15 @@ type Config struct {
 	// pays its own fsync — the baseline the durability benchmark compares
 	// group commit against. Never set it in production.
 	NoGroupCommit bool
+	// FS is the filesystem the durability layer writes through (default
+	// vfs.OS). Tests inject a vfs.FaultFS here to script disk faults.
+	FS vfs.FS
+
+	// StatementTimeout bounds each streaming statement's execution time:
+	// a cursor that exceeds it fails with ErrStatementTimeout at the next
+	// batch boundary (the same granularity as client Cancel). 0 disables.
+	// Sessions can override it (SET statement_timeout = '500ms').
+	StatementTimeout time.Duration
 }
 
 // DefaultConfig returns a sensible configuration.
@@ -146,11 +169,15 @@ type DB struct {
 
 	// Durability state (nil/zero when Config.DataDir is empty).
 	wlog        *wal.Log
+	fs          vfs.FS     // filesystem the durability layer writes through
 	ckptMu      sync.Mutex // serializes checkpoints
 	lastCkptWal atomic.Uint64
 	stopCkpt    chan struct{}
 	ckptDone    chan struct{}
 	closed      atomic.Bool
+	// degradedSeen latches the first observation of WAL poison so the
+	// db.degraded gauge flips exactly once.
+	degradedSeen atomic.Bool
 
 	session *Session // implicit session for autocommit Exec
 }
@@ -214,6 +241,33 @@ func (db *DB) BufferPool() *storage.BufferPool { return db.pool }
 
 // Monitor exposes the metric tracker.
 func (db *DB) Monitor() *monitor.Tracker { return db.tracker }
+
+// Degraded reports whether the instance has degraded to read-only because
+// the write-ahead log poisoned. The operator story: established reads keep
+// working, writes fail with ErrReadOnly, and restarting the process (which
+// replays the durable WAL prefix) restores writability. Acked commits are
+// never lost; commits in flight when the fsync failed were never acked.
+func (db *DB) Degraded() bool {
+	return db.writeErr() != nil
+}
+
+// writeErr is the write path's fail-stop check: nil while healthy, an
+// ErrReadOnly-wrapping error once the WAL has poisoned. The first failing
+// observation flips the db.degraded monitor gauge.
+func (db *DB) writeErr() error {
+	w := db.wlog
+	if w == nil {
+		return nil
+	}
+	perr := w.Err()
+	if perr == nil {
+		return nil
+	}
+	if db.degradedSeen.CompareAndSwap(false, true) {
+		db.tracker.Observe("db.degraded", 1)
+	}
+	return fmt.Errorf("%w (cause: %v)", ErrReadOnly, perr)
+}
 
 // SetLearnedQO installs a trained learned-optimizer model used by
 // LearnedMode planning. Cached plans chosen by the previous model (or the
@@ -309,6 +363,9 @@ type Session struct {
 	mu      sync.Mutex
 	txn     *txn.Txn
 	workers int // per-session parallelism override; 0 = inherit DB config
+	// stmtTimeout overrides Config.StatementTimeout for this session:
+	// 0 = inherit, negative = explicitly disabled (SET statement_timeout=0).
+	stmtTimeout time.Duration
 }
 
 // NewSession creates an independent session.
@@ -340,6 +397,35 @@ func (s *Session) SetWorkers(n int) {
 	s.mu.Lock()
 	s.workers = n
 	s.mu.Unlock()
+}
+
+// SetStatementTimeout overrides the per-statement execution bound for this
+// session. d == 0 re-inherits the DB configuration; d < 0 disables the
+// timeout outright. SET statement_timeout = '500ms' is the SQL form.
+func (s *Session) SetStatementTimeout(d time.Duration) {
+	s.mu.Lock()
+	s.stmtTimeout = d
+	s.mu.Unlock()
+}
+
+// effectiveStatementTimeout resolves the statement timeout for one
+// execution: session override, then DB config; 0 means no timeout.
+func (s *Session) effectiveStatementTimeout() time.Duration {
+	s.mu.Lock()
+	d := s.stmtTimeout
+	s.mu.Unlock()
+	if d < 0 {
+		return 0
+	}
+	if d == 0 {
+		s.db.mu.Lock()
+		d = s.db.cfg.StatementTimeout
+		s.db.mu.Unlock()
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
 }
 
 // effectiveWorkers resolves the parallelism cap for one execution: session
@@ -435,7 +521,14 @@ func (s *Session) streamPlan(p plan.Node, cols []string, hasParams bool, args []
 	if err != nil {
 		return nil, done(err)
 	}
-	return newStreamingRows(cols, p.Schema(), it, done)
+	rows, err := newStreamingRows(cols, p.Schema(), it, done)
+	if err != nil {
+		return nil, err
+	}
+	if d := s.effectiveStatementTimeout(); d > 0 {
+		rows.deadline = time.Now().Add(d)
+	}
+	return rows, nil
 }
 
 // level returns the configured isolation level.
@@ -466,6 +559,17 @@ func (s *Session) begin(readOnly bool) (*txn.Txn, func(error) error) {
 }
 
 func (s *Session) execStmt(stmt sqlparse.Stmt, args []rel.Value) (*Result, error) {
+	switch stmt.(type) {
+	case *sqlparse.CreateTable, *sqlparse.CreateIndex, *sqlparse.DropTable,
+		*sqlparse.Insert, *sqlparse.Update, *sqlparse.Delete:
+		// Fail-stop before doing any work: a poisoned WAL means the write
+		// could never be made durable. The commit path re-checks (the poison
+		// can land mid-statement), but rejecting here gives writers a clean
+		// ErrReadOnly instead of work that is doomed to abort at commit.
+		if err := s.db.writeErr(); err != nil {
+			return nil, err
+		}
+	}
 	switch t := stmt.(type) {
 	case *sqlparse.CreateTable:
 		return s.execCreateTable(t)
@@ -962,9 +1066,37 @@ func (s *Session) execSet(st *sqlparse.SetStmt) (*Result, error) {
 		}
 		s.SetWorkers(n)
 		return &Result{Message: "SET workers"}, nil
+	case "statement_timeout":
+		d, err := parseTimeoutValue(st.Value)
+		if err != nil {
+			return nil, err
+		}
+		if d == 0 {
+			d = -1 // explicit 0 disables, rather than re-inheriting the DB config
+		}
+		s.SetStatementTimeout(d)
+		return &Result{Message: "SET statement_timeout"}, nil
 	default:
 		return nil, fmt.Errorf("neurdb: unknown setting %q", st.Key)
 	}
+}
+
+// parseTimeoutValue accepts a Go duration string ("500ms", "2s") or a bare
+// non-negative integer interpreted as milliseconds (the PostgreSQL
+// statement_timeout convention). 0 disables.
+func parseTimeoutValue(v string) (time.Duration, error) {
+	v = strings.TrimSpace(strings.Trim(v, `'"`))
+	if ms, err := strconv.Atoi(v); err == nil {
+		if ms < 0 {
+			return 0, fmt.Errorf("neurdb: statement_timeout must be >= 0, got %d", ms)
+		}
+		return time.Duration(ms) * time.Millisecond, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("neurdb: statement_timeout wants a duration or integer milliseconds, got %q", v)
+	}
+	return d, nil
 }
 
 func (s *Session) execPredict(pr *sqlparse.Predict, args []rel.Value) (*Result, error) {

@@ -2,13 +2,13 @@ package neurdb
 
 import (
 	"fmt"
-	"os"
 	"time"
 
 	"neurdb/internal/catalog"
 	"neurdb/internal/index"
 	"neurdb/internal/rel"
 	"neurdb/internal/storage"
+	"neurdb/internal/vfs"
 	"neurdb/internal/wal"
 )
 
@@ -28,10 +28,15 @@ import (
 //     to a fresh segment, never into a possibly-torn tail.
 func (db *DB) openDurable() error {
 	dir := db.cfg.DataDir
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := db.cfg.FS
+	if fs == nil {
+		fs = vfs.OS
+	}
+	db.fs = fs
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	ck, err := wal.LoadCheckpoint(dir)
+	ck, err := wal.LoadCheckpoint(fs, dir)
 	if err != nil {
 		return err
 	}
@@ -49,7 +54,7 @@ func (db *DB) openDurable() error {
 			}
 		}
 	}
-	st, err := wal.ReplaySegments(dir, db.applyRecord)
+	st, err := wal.ReplaySegments(fs, dir, db.applyRecord)
 	if err != nil {
 		return err
 	}
@@ -72,6 +77,7 @@ func (db *DB) openDurable() error {
 		Interval: db.cfg.WalSyncInterval,
 		NoGroup:  db.cfg.NoGroupCommit,
 		Metrics:  db.tracker,
+		FS:       fs,
 	})
 	if err != nil {
 		return err
@@ -232,13 +238,13 @@ func (db *DB) Checkpoint() error {
 		ck.Tables = append(ck.Tables, ct)
 	}
 
-	if err := wal.WriteCheckpoint(l.Dir(), ck); err != nil {
+	if err := wal.WriteCheckpoint(l.FS(), l.Dir(), ck); err != nil {
 		return err
 	}
 	// Old checkpoints go before old segments: if a crash interrupts the
 	// cleanup, recovery sees the new checkpoint plus extra old segments
 	// (harmlessly replayed), never a checkpoint whose segments are gone.
-	if err := wal.RemoveCheckpointsBefore(l.Dir(), ck.Seq); err != nil {
+	if err := wal.RemoveCheckpointsBefore(l.FS(), l.Dir(), ck.Seq); err != nil {
 		return err
 	}
 	if err := l.RemoveThrough(sealed); err != nil {

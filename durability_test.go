@@ -160,7 +160,7 @@ func TestCheckpointBoundsReplay(t *testing.T) {
 		t.Fatalf("checkpoint: %v", err)
 	}
 	// Pre-checkpoint segments must be gone; only the live one remains.
-	segs, err := wal.ListSegments(dir)
+	segs, err := wal.ListSegments(nil, dir)
 	if err != nil || len(segs) != 1 {
 		t.Fatalf("after checkpoint: %d segments (err=%v)", len(segs), err)
 	}

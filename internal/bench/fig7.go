@@ -142,6 +142,10 @@ func RunFig7b(sc Scale) (*Fig7bResult, error) {
 			ndRes := ndEngine.Run(ndGen, ph.Threads, interval)
 			res.NeurDBCC = append(res.NeurDBCC, ndRes.Throughput)
 			ndTracker.Observe("tps", ndRes.Throughput)
+			// Bounded-spin latch waits that expired this interval: the
+			// deadlock-breaker firing, an early congestion signal alongside
+			// the abort rate.
+			ndTracker.Count("cc.latch_timeouts", float64(ndEngine.LatchTimeouts()))
 			if ndTracker.Baseline("tps") == 0 && pi == 0 && i >= sc.Fig7bIntervals/2 {
 				ndTracker.SetBaseline("tps", ndTracker.Mean("tps"))
 			}
@@ -158,6 +162,7 @@ func RunFig7b(sc Scale) (*Fig7bResult, error) {
 			pjRes := pjEngine.Run(pjGen, ph.Threads, interval)
 			res.Polyjuice = append(res.Polyjuice, pjRes.Throughput)
 			pjTracker.Observe("tps", pjRes.Throughput)
+			pjTracker.Count("cc.latch_timeouts", float64(pjEngine.LatchTimeouts()))
 			if pjTracker.Baseline("tps") == 0 && pi == 0 && i >= sc.Fig7bIntervals/2 {
 				pjTracker.SetBaseline("tps", pjTracker.Mean("tps"))
 			}

@@ -364,3 +364,37 @@ func TestRecordLatchSemantics(t *testing.T) {
 		t.Fatal("conflict did not decay")
 	}
 }
+
+// TestLatchTimeoutCounter pins a record's exclusive latch from outside the
+// engine and drives a 2PL write through it: the bounded spin must expire,
+// abort the transaction, and bump the latch-timeout counter exactly once.
+func TestLatchTimeoutCounter(t *testing.T) {
+	store := NewStore(4)
+	e := NewEngine(store, NewTwoPL())
+	if !store.Record(0).TryExclusive() {
+		t.Fatal("could not pre-latch record 0")
+	}
+	ctx := newTxnCtx()
+	txn := &Txn{Ops: []Op{{Key: 0, Write: true, Delta: 1}}}
+	committed, _ := e.TryTxn(ctx, txn, 0)
+	if committed {
+		t.Fatal("write through a held latch committed")
+	}
+	if got := e.LatchTimeouts(); got != 1 {
+		t.Fatalf("LatchTimeouts() = %d, want 1", got)
+	}
+	_, aborts := e.Stats()
+	if aborts != 1 {
+		t.Fatalf("aborts = %d, want 1", aborts)
+	}
+	store.Record(0).ReleaseExclusive()
+	// With the latch free the same transaction commits, and ResetStats
+	// clears the counter.
+	if committed, _ := e.TryTxn(ctx, txn, 0); !committed {
+		t.Fatal("retry after release did not commit")
+	}
+	e.ResetStats()
+	if e.LatchTimeouts() != 0 {
+		t.Fatal("ResetStats left latch-timeout counter set")
+	}
+}

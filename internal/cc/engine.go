@@ -93,6 +93,12 @@ type Engine struct {
 
 	commits atomic.Uint64
 	aborts  atomic.Uint64
+	// latchTimeouts counts bounded-spin waits that expired (ExclusiveWait /
+	// SharedWait / UpgradeWait exhausting their spin budget). A timeout is
+	// the engine's deadlock breaker, so a rising rate is the early-warning
+	// signal of latch-ordering pathologies; callers surface it as the
+	// cc.latch_timeouts monitor series.
+	latchTimeouts atomic.Uint64
 }
 
 type policyBox struct{ p Policy }
@@ -116,10 +122,14 @@ func (e *Engine) Stats() (commits, aborts uint64) {
 	return e.commits.Load(), e.aborts.Load()
 }
 
+// LatchTimeouts returns how many bounded latch waits have timed out.
+func (e *Engine) LatchTimeouts() uint64 { return e.latchTimeouts.Load() }
+
 // ResetStats zeroes the counters (between measurement intervals).
 func (e *Engine) ResetStats() {
 	e.commits.Store(0)
 	e.aborts.Store(0)
+	e.latchTimeouts.Store(0)
 }
 
 const lockSpins = 4096
@@ -225,7 +235,9 @@ func (e *Engine) TryTxn(ctx *txnCtx, txn *Txn, retries int) (committed, terminal
 				if i := ctx.holdsShared(rec); i >= 0 {
 					// Lock upgrade: wait for concurrent readers to drain.
 					if action == ActLockWait {
-						ok = rec.UpgradeWait(lockSpins)
+						if ok = rec.UpgradeWait(lockSpins); !ok {
+							e.latchTimeouts.Add(1)
+						}
 					} else {
 						ok = rec.UpgradeWait(1)
 					}
@@ -233,7 +245,9 @@ func (e *Engine) TryTxn(ctx *txnCtx, txn *Txn, retries int) (committed, terminal
 						ctx.dropShared(i)
 					}
 				} else if action == ActLockWait {
-					ok = rec.ExclusiveWait(lockSpins)
+					if ok = rec.ExclusiveWait(lockSpins); !ok {
+						e.latchTimeouts.Add(1)
+					}
 				} else {
 					ok = rec.TryExclusive()
 				}
@@ -271,7 +285,9 @@ func (e *Engine) TryTxn(ctx *txnCtx, txn *Txn, retries int) (committed, terminal
 			case ActLockWait, ActLockNoWait:
 				var ok bool
 				if action == ActLockWait {
-					ok = rec.SharedWait(lockSpins)
+					if ok = rec.SharedWait(lockSpins); !ok {
+						e.latchTimeouts.Add(1)
+					}
 				} else {
 					ok = rec.TryShared()
 				}
@@ -313,6 +329,7 @@ func (e *Engine) TryTxn(ctx *txnCtx, txn *Txn, retries int) (committed, terminal
 			if si := ctx.holdsShared(rec); si >= 0 {
 				// Upgrade our read latch for the deferred write.
 				if !rec.UpgradeWait(lockSpins / 4) {
+					e.latchTimeouts.Add(1)
 					rec.NoteConflict()
 					okAll = false
 					break
@@ -323,6 +340,7 @@ func (e *Engine) TryTxn(ctx *txnCtx, txn *Txn, retries int) (committed, terminal
 				continue
 			}
 			if !rec.ExclusiveWait(lockSpins / 4) {
+				e.latchTimeouts.Add(1)
 				rec.NoteConflict()
 				okAll = false
 				break

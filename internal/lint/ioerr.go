@@ -7,7 +7,8 @@ import (
 )
 
 // IOErr enforces the durability contract of the persistence layer (PR 7,
-// internal/wal + the root-package durability surface): an error returned by
+// internal/wal + internal/vfs + the root-package durability surface): an
+// error returned by
 // Sync, Close, Flush, Rename, Remove, or Truncate on those paths is a
 // durability event — a silently dropped one can acknowledge a commit whose
 // bytes never reached the platter. The analyzer flags calls to those
@@ -22,7 +23,8 @@ var IOErr = &Analyzer{
 	Doc:  "flag discarded errors from Sync/Close/Flush/Rename/Remove/Truncate in the durability layer",
 	Packages: []string{
 		"neurdb/internal/wal",
-		"neurdb", // filtered to durability.go below
+		"neurdb/internal/vfs", // the filesystem seam all durability IO flows through
+		"neurdb",              // filtered to durability.go below
 	},
 	Run: runIOErr,
 }

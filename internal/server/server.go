@@ -44,6 +44,17 @@ type Config struct {
 	// frame beyond a client's ceiling. A single row larger than the cap
 	// still travels alone in an oversized frame.
 	BatchBytes int
+	// MaxConns caps concurrent client connections (0 = unlimited). A
+	// connection beyond the cap gets a clean TOO_MANY_CONNS Error in
+	// response to its Startup and is closed — clients can retry with
+	// backoff. Cancel requests are exempt: they must get through exactly
+	// when the server is busiest.
+	MaxConns int
+	// IdleTimeout bounds how long a connection may sit idle between
+	// frames (0 = forever). A dead or stalled peer is torn down when it
+	// expires, releasing its session, cursors, and prepared statements —
+	// so abandoned clients cannot pin server resources indefinitely.
+	IdleTimeout time.Duration
 }
 
 // Server serves a NeurDB instance over the binary wire protocol.
@@ -92,9 +103,16 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
-		c := s.register(netc)
+		c, full := s.register(netc)
 		if c == nil {
-			netc.Close() // raced with Shutdown
+			if full {
+				// At MaxConns: answer the handshake with a typed refusal in
+				// a short-lived goroutine (the Startup read must not block
+				// the accept loop) instead of slamming the socket shut.
+				go s.refuse(netc)
+			} else {
+				netc.Close() // raced with Shutdown
+			}
 			continue
 		}
 		go func() {
@@ -137,10 +155,11 @@ func (s *Server) Shutdown(grace time.Duration) {
 }
 
 // register adds a connection with fresh cancellation credentials, or
-// returns nil when the server is draining. The drain WaitGroup is
-// incremented under the same mutex Shutdown takes to set draining, so a
-// connection is either visible to wg.Wait or refused — never in between.
-func (s *Server) register(netc net.Conn) *conn {
+// returns nil when the server is draining (full=false) or at MaxConns
+// (full=true). The drain WaitGroup is incremented under the same mutex
+// Shutdown takes to set draining, so a connection is either visible to
+// wg.Wait or refused — never in between.
+func (s *Server) register(netc net.Conn) (c *conn, full bool) {
 	var secret [8]byte
 	if _, err := rand.Read(secret[:]); err != nil {
 		binary.BigEndian.PutUint64(secret[:], uint64(time.Now().UnixNano()))
@@ -148,10 +167,14 @@ func (s *Server) register(netc net.Conn) *conn {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		return nil
+		return nil, false
+	}
+	if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+		s.db.Monitor().Count("server.conns_refused", 1)
+		return nil, true
 	}
 	s.nextID++
-	c := &conn{
+	c = &conn{
 		id:      s.nextID,
 		secret:  binary.BigEndian.Uint64(secret[:]),
 		srv:     s,
@@ -165,7 +188,36 @@ func (s *Server) register(netc net.Conn) *conn {
 	s.conns[c.id] = c
 	s.wg.Add(1) // balanced by wg.Done in the connection goroutine
 	s.db.Monitor().Observe("server.conns", float64(len(s.conns)))
-	return c
+	return c, false
+}
+
+// refuse answers one over-capacity connection: read its first frame under a
+// short deadline, pass a Cancel through (cancels must work precisely when
+// the server is saturated), and answer a Startup with TOO_MANY_CONNS so the
+// client fails with a typed, retryable error instead of a raw hangup.
+func (s *Server) refuse(netc net.Conn) {
+	defer netc.Close()
+	_ = netc.SetDeadline(time.Now().Add(5 * time.Second))
+	r := wire.NewReader(netc, s.cfg.MaxFrame)
+	op, payload, err := r.ReadFrame()
+	if err != nil {
+		return
+	}
+	msg, err := wire.Decode(op, payload)
+	if err != nil {
+		return
+	}
+	w := wire.NewWriter(netc)
+	switch m := msg.(type) {
+	case *wire.Cancel:
+		s.cancel(m.ConnID, m.Secret)
+	case *wire.Startup:
+		_ = w.WriteMsg(&wire.Error{
+			Code:    wire.CodeTooManyConns,
+			Message: fmt.Sprintf("server at capacity (%d connections)", s.cfg.MaxConns),
+		})
+		_ = w.Flush()
+	}
 }
 
 // unregister removes a finished connection.
@@ -260,6 +312,12 @@ func (c *conn) run() {
 				return
 			}
 		}
+		// Idle deadline: a peer that sends nothing within the window is torn
+		// down (the deferred cleanup above releases everything it pinned).
+		// Re-armed before every frame, so an active connection never expires.
+		if idle := c.srv.cfg.IdleTimeout; idle > 0 {
+			_ = c.netc.SetReadDeadline(time.Now().Add(idle))
+		}
 		op, payload, err := c.r.ReadFrame()
 		if err != nil {
 			var tooLarge *wire.FrameTooLargeError
@@ -311,6 +369,9 @@ func (c *conn) run() {
 // handshake consumes the first frame: a Startup (negotiate and answer) or a
 // Cancel (apply and close).
 func (c *conn) handshake() (bool, error) {
+	if idle := c.srv.cfg.IdleTimeout; idle > 0 {
+		_ = c.netc.SetReadDeadline(time.Now().Add(idle))
+	}
 	op, payload, err := c.r.ReadFrame()
 	if err != nil {
 		return false, err
@@ -354,6 +415,26 @@ func (c *conn) send(m wire.Msg) error { return c.w.WriteMsg(m) }
 func (c *conn) sendError(code, msg string) {
 	c.skipToSync = true
 	c.send(&wire.Error{Code: code, Message: msg})
+}
+
+// sendStmtError reports a statement failure with the most specific wire
+// code the error maps to, so remote clients can branch on degradation
+// (READ_ONLY) and overload (TIMEOUT) the same way embedded callers use
+// errors.Is.
+func (c *conn) sendStmtError(err error) {
+	c.sendError(stmtErrCode(err), err.Error())
+}
+
+// stmtErrCode maps engine errors onto wire error codes.
+func stmtErrCode(err error) string {
+	switch {
+	case errors.Is(err, neurdb.ErrReadOnly):
+		return wire.CodeReadOnly
+	case errors.Is(err, neurdb.ErrStatementTimeout):
+		return wire.CodeTimeout
+	default:
+		return wire.CodeError
+	}
 }
 
 // parse prepares a named statement through the session, putting the plan in
@@ -415,7 +496,7 @@ func (c *conn) execute(m *wire.Execute) error {
 		rows, err := p.stmt.Query(p.args...)
 		if err != nil {
 			delete(c.portals, m.Portal)
-			c.sendError(wire.CodeError, err.Error())
+			c.sendStmtError(err)
 			return nil
 		}
 		p.rows = rows
@@ -515,7 +596,7 @@ func (c *conn) finishPortal(name string, p *portal) error {
 	affected := uint64(p.rows.Affected())
 	c.closePortalNamed(name, p)
 	if err != nil {
-		c.sendError(wire.CodeError, err.Error())
+		c.sendStmtError(err)
 		return nil
 	}
 	if affected == 0 {
@@ -597,7 +678,7 @@ func (c *conn) closeMsg(m *wire.Close) {
 func (c *conn) simpleQuery(sql string) error {
 	rows, err := c.session.Query(sql)
 	if err != nil {
-		c.sendError(wire.CodeError, err.Error())
+		c.sendStmtError(err)
 		return nil
 	}
 	if cols := rows.Columns(); len(cols) > 0 {

@@ -38,6 +38,13 @@ var ErrSerializationFailure = errors.New("txn: serialization failure (SSI)")
 // ErrTxnFinished is returned when operating on a committed/aborted txn.
 var ErrTxnFinished = errors.New("txn: transaction already finished")
 
+// ErrReadOnly is returned by writing commits after the write-ahead log has
+// poisoned (a failed fsync whose dirty pages the kernel may have dropped).
+// The engine fail-stops its write path: reads keep serving, every write is
+// rejected with an error wrapping this sentinel, and a restart — which
+// replays the durable log prefix — is the only way back to writability.
+var ErrReadOnly = errors.New("txn: database is read-only (WAL poisoned; restart to recover)")
+
 // IsolationLevel selects the concurrency-control behaviour.
 type IsolationLevel uint8
 
@@ -204,6 +211,11 @@ type CommitLog interface {
 	GateRUnlock()
 	AppendCommit(cts uint64, ops []wal.Op) (lsn uint64, err error)
 	Sync(lsn uint64) error
+	// Err reports the log's sticky poison state (nil while healthy). The
+	// manager checks it before every logged commit as a fail-stop: once an
+	// fsync has failed, no further commit may become visible in memory,
+	// because its durability could never be guaranteed.
+	Err() error
 }
 
 // SetCommitLog installs the durability hook. Must be called before any
@@ -638,6 +650,15 @@ func (m *Manager) Commit(t *Txn) error {
 	log := m.log
 	logged := log != nil && nwrites > 0
 	if logged {
+		// Fail-stop: a poisoned log means the last fsync's pages may already
+		// be gone from the kernel, so no new commit can ever be made durable.
+		// Reject before any in-memory state changes; the first commit that
+		// *caused* the poison got the raw fsync error from Sync below, and
+		// every commit after it degrades to read-only here.
+		if perr := log.Err(); perr != nil {
+			m.abortInternal(t, false)
+			return fmt.Errorf("%w (cause: %v)", ErrReadOnly, perr)
+		}
 		log.GateRLock()
 	}
 

@@ -12,6 +12,7 @@ import (
 
 	"neurdb/internal/rel"
 	"neurdb/internal/storage"
+	"neurdb/internal/vfs"
 )
 
 // IndexMeta names one secondary index in a checkpoint. Indexes are rebuilt
@@ -60,8 +61,8 @@ func checkpointPath(dir string, seq uint64) string {
 }
 
 // listCheckpoints returns checkpoint files in ascending sequence order.
-func listCheckpoints(dir string) ([]SegmentRef, error) {
-	ents, err := os.ReadDir(dir)
+func listCheckpoints(fs vfs.FS, dir string) ([]SegmentRef, error) {
+	ents, err := fs.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
@@ -224,11 +225,14 @@ func decodeCheckpoint(data []byte) (*Checkpoint, error) {
 // is fsynced, renamed into place, and the directory entry is fsynced — so a
 // crash at any point leaves either the old checkpoint set or the new file
 // complete, never a half-written one under the final name.
-func WriteCheckpoint(dir string, ck *Checkpoint) error {
+func WriteCheckpoint(fs vfs.FS, dir string, ck *Checkpoint) error {
+	if fs == nil {
+		fs = vfs.OS
+	}
 	data := encodeCheckpoint(ck)
 	final := checkpointPath(dir, ck.Seq)
 	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -237,31 +241,34 @@ func WriteCheckpoint(dir string, ck *Checkpoint) error {
 	// matched by the checkpoint loader).
 	if _, err := f.Write(data); err != nil {
 		_ = f.Close()
-		_ = os.Remove(tmp)
+		_ = fs.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		_ = f.Close()
-		_ = os.Remove(tmp)
+		_ = fs.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		_ = os.Remove(tmp)
+		_ = fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		_ = os.Remove(tmp)
+	if err := fs.Rename(tmp, final); err != nil {
+		_ = fs.Remove(tmp)
 		return err
 	}
-	return syncDir(dir)
+	return syncDir(fs, dir)
 }
 
 // LoadCheckpoint returns the newest checkpoint in dir, or nil if none
 // exists. The newest file failing validation is a hard error, not a
 // fallback: older checkpoints may already have had their WAL segments
 // deleted, so silently using one could lose acknowledged commits.
-func LoadCheckpoint(dir string) (*Checkpoint, error) {
-	cks, err := listCheckpoints(dir)
+func LoadCheckpoint(fs vfs.FS, dir string) (*Checkpoint, error) {
+	if fs == nil {
+		fs = vfs.OS
+	}
+	cks, err := listCheckpoints(fs, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -269,7 +276,7 @@ func LoadCheckpoint(dir string) (*Checkpoint, error) {
 		return nil, nil
 	}
 	newest := cks[len(cks)-1]
-	data, err := os.ReadFile(newest.Path)
+	data, err := fs.ReadFile(newest.Path)
 	if err != nil {
 		return nil, err
 	}
@@ -282,8 +289,11 @@ func LoadCheckpoint(dir string) (*Checkpoint, error) {
 
 // RemoveCheckpointsBefore deletes checkpoint files older than seq, oldest
 // first (mirrors the segment-retention invariant).
-func RemoveCheckpointsBefore(dir string, seq uint64) error {
-	cks, err := listCheckpoints(dir)
+func RemoveCheckpointsBefore(fs vfs.FS, dir string, seq uint64) error {
+	if fs == nil {
+		fs = vfs.OS
+	}
+	cks, err := listCheckpoints(fs, dir)
 	if err != nil {
 		return err
 	}
@@ -291,7 +301,7 @@ func RemoveCheckpointsBefore(dir string, seq uint64) error {
 		if c.Seq >= seq {
 			break
 		}
-		if err := os.Remove(c.Path); err != nil {
+		if err := fs.Remove(c.Path); err != nil {
 			return err
 		}
 	}
@@ -300,8 +310,8 @@ func RemoveCheckpointsBefore(dir string, seq uint64) error {
 
 // syncDir fsyncs a directory so file creations/renames inside it are
 // durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fs vfs.FS, dir string) error {
+	d, err := fs.Open(dir)
 	if err != nil {
 		return err
 	}

@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"neurdb/internal/vfs"
 )
 
 // SyncMode selects when appended records are forced to stable storage.
@@ -67,6 +69,9 @@ type Options struct {
 	NoGroup bool
 	// Metrics, when set, receives wal.bytes / wal.fsyncs / wal.group_size.
 	Metrics Metrics
+	// FS is the filesystem the log writes through (default vfs.OS). Tests
+	// pass a vfs.FaultFS here to script disk faults deterministically.
+	FS vfs.FS
 }
 
 // segmentPrefix/segmentSuffix name WAL segment files: wal-<seq>.log.
@@ -88,6 +93,7 @@ var segmentMagic = [8]byte{'N', 'D', 'B', 'W', 'A', 'L', '0', '1'}
 // checkpointer uses Gate/Rotate to cut the log at a quiescent point.
 type Log struct {
 	dir     string
+	fs      vfs.FS
 	mode    SyncMode
 	noGroup bool
 	metrics Metrics
@@ -100,7 +106,7 @@ type Log struct {
 	gate sync.RWMutex
 
 	mu        sync.Mutex // guards file, bw, seq/offset state
-	f         *os.File
+	f         vfs.File
 	bw        *bufio.Writer
 	seq       uint64 // current segment sequence number
 	appendLSN uint64 // records appended (monotonic, process-lifetime)
@@ -114,6 +120,10 @@ type Log struct {
 	syncedLSN uint64
 	syncing   bool
 	syncErr   error // sticky: a failed fsync poisons the log
+	// poison mirrors syncErr for lock-free reads: the commit path's
+	// fail-stop check (Err) runs before every logged commit and must not
+	// contend with group-commit waiters on syncMu.
+	poison atomic.Pointer[error]
 
 	// ioMu serializes non-leader fsync paths (NoGroup mode, the interval
 	// ticker, rotation, Close). NoGroup needs it for honesty: without it,
@@ -139,17 +149,22 @@ func Open(opts Options) (*Log, error) {
 	if opts.Dir == "" {
 		return nil, fmt.Errorf("wal: Options.Dir is required")
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	fs := opts.FS
+	if fs == nil {
+		fs = vfs.OS
+	}
+	if err := fs.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
 	l := &Log{
 		dir:     opts.Dir,
+		fs:      fs,
 		mode:    opts.Mode,
 		noGroup: opts.NoGroup,
 		metrics: opts.Metrics,
 	}
 	l.syncCond = sync.NewCond(&l.syncMu)
-	segs, err := ListSegments(opts.Dir)
+	segs, err := ListSegments(fs, opts.Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -191,7 +206,7 @@ func (l *Log) tickLoop(iv time.Duration) {
 // access during Open).
 func (l *Log) openSegmentLocked(seq uint64) error {
 	path := segmentPath(l.dir, seq)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -204,7 +219,7 @@ func (l *Log) openSegmentLocked(seq uint64) error {
 	}
 	// Make the directory entry durable now: a commit fsync later only
 	// covers the file's data, not its existence in the directory.
-	if err := syncDir(l.dir); err != nil {
+	if err := syncDir(l.fs, l.dir); err != nil {
 		_ = f.Close() // error path: the dir-sync failure is the error to report
 		return err
 	}
@@ -229,8 +244,11 @@ type SegmentRef struct {
 }
 
 // ListSegments returns the data directory's WAL segments in sequence order.
-func ListSegments(dir string) ([]SegmentRef, error) {
-	ents, err := os.ReadDir(dir)
+func ListSegments(fs vfs.FS, dir string) ([]SegmentRef, error) {
+	if fs == nil {
+		fs = vfs.OS
+	}
+	ents, err := fs.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
@@ -366,6 +384,7 @@ func (l *Log) Sync(lsn uint64) error {
 	l.syncing = false
 	if err != nil {
 		l.syncErr = err
+		l.poison.CompareAndSwap(nil, &err)
 	} else {
 		if target > l.syncedLSN {
 			l.syncedLSN = target
@@ -406,6 +425,7 @@ func (l *Log) syncNow() error {
 	l.syncMu.Lock()
 	if err != nil {
 		l.syncErr = err
+		l.poison.CompareAndSwap(nil, &err)
 	} else {
 		if target > l.syncedLSN {
 			l.syncedLSN = target
@@ -420,6 +440,18 @@ func (l *Log) syncNow() error {
 	l.syncCond.Broadcast()
 	l.syncMu.Unlock()
 	return err
+}
+
+// Err returns the sticky poison error, or nil while the log is healthy.
+// Once an fsync has failed the log never un-poisons: the kernel may have
+// dropped the dirty pages the failed fsync covered, so no later fsync can
+// retroactively make those records durable. Callers use this as a fail-stop
+// check before accepting new work; restart-and-recover is the only way back.
+func (l *Log) Err() error {
+	if p := l.poison.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // flushAndSync pushes the user-space buffer to the OS and fsyncs the current
@@ -473,7 +505,7 @@ func (l *Log) Rotate() (sealed uint64, err error) {
 // segments are always a suffix: a crash mid-removal leaves extra old
 // segments, never a gap.
 func (l *Log) RemoveThrough(seq uint64) error {
-	segs, err := ListSegments(l.dir)
+	segs, err := ListSegments(l.fs, l.dir)
 	if err != nil {
 		return err
 	}
@@ -487,7 +519,7 @@ func (l *Log) RemoveThrough(seq uint64) error {
 		if s.Seq >= cur {
 			break // never delete the live segment
 		}
-		if err := os.Remove(s.Path); err != nil {
+		if err := l.fs.Remove(s.Path); err != nil {
 			return err
 		}
 	}
@@ -504,6 +536,9 @@ func (l *Log) Bytes() uint64 { return l.bytes.Load() }
 
 // Dir returns the data directory.
 func (l *Log) Dir() string { return l.dir }
+
+// FS returns the filesystem the log writes through.
+func (l *Log) FS() vfs.FS { return l.fs }
 
 // Close flushes, fsyncs, and closes the log. Further appends fail.
 func (l *Log) Close() error {

@@ -4,8 +4,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
+
+	"neurdb/internal/vfs"
 )
 
 // ReplayStats summarizes one recovery pass over the retained segments.
@@ -27,15 +28,18 @@ type ReplayStats struct {
 // Records are applied in file order across all segments. Redo is
 // idempotent, so callers replay every retained segment unconditionally —
 // including records a loaded checkpoint already reflects.
-func ReplaySegments(dir string, apply func(*Record) error) (ReplayStats, error) {
+func ReplaySegments(fs vfs.FS, dir string, apply func(*Record) error) (ReplayStats, error) {
 	var st ReplayStats
-	segs, err := ListSegments(dir)
+	if fs == nil {
+		fs = vfs.OS
+	}
+	segs, err := ListSegments(fs, dir)
 	if err != nil {
 		return st, err
 	}
 	for i, seg := range segs {
 		last := i == len(segs)-1
-		truncated, err := replayOne(seg, last, apply, &st)
+		truncated, err := replayOne(fs, seg, last, apply, &st)
 		if err != nil {
 			return st, err
 		}
@@ -49,8 +53,8 @@ func ReplaySegments(dir string, apply func(*Record) error) (ReplayStats, error) 
 
 // replayOne replays a single segment file. tolerateTorn permits a torn tail
 // (returning truncated=true); otherwise any damage is an error.
-func replayOne(seg SegmentRef, tolerateTorn bool, apply func(*Record) error, st *ReplayStats) (truncated bool, err error) {
-	data, err := os.ReadFile(seg.Path)
+func replayOne(fs vfs.FS, seg SegmentRef, tolerateTorn bool, apply func(*Record) error, st *ReplayStats) (truncated bool, err error) {
+	data, err := fs.ReadFile(seg.Path)
 	if err != nil {
 		return false, err
 	}

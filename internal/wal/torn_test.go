@@ -37,7 +37,7 @@ func buildSegment(t *testing.T, dir string, n int) (path string, data []byte, la
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := ListSegments(dir)
+	segs, err := ListSegments(nil, dir)
 	if err != nil || len(segs) != 1 {
 		t.Fatalf("want 1 segment, got %d (err=%v)", len(segs), err)
 	}
@@ -63,7 +63,7 @@ func buildSegment(t *testing.T, dir string, n int) (path string, data []byte, la
 func replayCount(t *testing.T, dir string) (ReplayStats, []uint64) {
 	t.Helper()
 	var seen []uint64
-	st, err := ReplaySegments(dir, func(r *Record) error {
+	st, err := ReplaySegments(nil, dir, func(r *Record) error {
 		seen = append(seen, r.CommitTS)
 		return nil
 	})

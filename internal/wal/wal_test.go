@@ -11,6 +11,7 @@ import (
 
 	"neurdb/internal/rel"
 	"neurdb/internal/storage"
+	"neurdb/internal/vfs"
 )
 
 func testOps(n int) []Op {
@@ -106,7 +107,7 @@ func TestAppendSyncReplayRoundTrip(t *testing.T) {
 	}
 
 	var seen []uint64
-	st, err := ReplaySegments(dir, func(r *Record) error {
+	st, err := ReplaySegments(nil, dir, func(r *Record) error {
 		seen = append(seen, r.CommitTS)
 		return nil
 	})
@@ -149,7 +150,7 @@ func TestReplayAcrossSegmentsAndRemoveThrough(t *testing.T) {
 			}
 		}
 	}
-	st, err := ReplaySegments(dir, func(*Record) error { return nil })
+	st, err := ReplaySegments(nil, dir, func(*Record) error { return nil })
 	if err != nil || st.Records != 6 || st.Segments != 3 {
 		t.Fatalf("pre-removal replay: %+v err=%v", st, err)
 	}
@@ -159,7 +160,7 @@ func TestReplayAcrossSegmentsAndRemoveThrough(t *testing.T) {
 		t.Fatal(err)
 	}
 	var first uint64
-	st, err = ReplaySegments(dir, func(r *Record) error {
+	st, err = ReplaySegments(nil, dir, func(r *Record) error {
 		if first == 0 {
 			first = r.CommitTS
 		}
@@ -173,7 +174,7 @@ func TestReplayAcrossSegmentsAndRemoveThrough(t *testing.T) {
 	if err := l.RemoveThrough(1 << 30); err != nil {
 		t.Fatal(err)
 	}
-	segs, _ := ListSegments(dir)
+	segs, _ := ListSegments(nil, dir)
 	if len(segs) != 1 {
 		t.Fatalf("want only the live segment, got %d", len(segs))
 	}
@@ -230,7 +231,7 @@ func TestGroupCommitConcurrency(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	st, err := ReplaySegments(dir, func(*Record) error { return nil })
+	st, err := ReplaySegments(nil, dir, func(*Record) error { return nil })
 	if err != nil || st.Records != writers*per {
 		t.Fatalf("replay after concurrent commits: %+v err=%v", st, err)
 	}
@@ -310,10 +311,10 @@ func TestCheckpointRoundTrip(t *testing.T) {
 			},
 		}},
 	}
-	if err := WriteCheckpoint(dir, ck); err != nil {
+	if err := WriteCheckpoint(nil, dir, ck); err != nil {
 		t.Fatal(err)
 	}
-	got, err := LoadCheckpoint(dir)
+	got, err := LoadCheckpoint(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,18 +332,18 @@ func TestCheckpointRoundTrip(t *testing.T) {
 
 func TestLoadCheckpointMissingAndCorrupt(t *testing.T) {
 	dir := t.TempDir()
-	ck, err := LoadCheckpoint(dir)
+	ck, err := LoadCheckpoint(nil, dir)
 	if err != nil || ck != nil {
 		t.Fatalf("empty dir: ck=%v err=%v", ck, err)
 	}
 
-	if err := WriteCheckpoint(dir, &Checkpoint{Seq: 1, Clock: 10}); err != nil {
+	if err := WriteCheckpoint(nil, dir, &Checkpoint{Seq: 1, Clock: 10}); err != nil {
 		t.Fatal(err)
 	}
-	if err := WriteCheckpoint(dir, &Checkpoint{Seq: 3, Clock: 30}); err != nil {
+	if err := WriteCheckpoint(nil, dir, &Checkpoint{Seq: 3, Clock: 30}); err != nil {
 		t.Fatal(err)
 	}
-	ck, err = LoadCheckpoint(dir)
+	ck, err = LoadCheckpoint(nil, dir)
 	if err != nil || ck.Seq != 3 {
 		t.Fatalf("newest wins: ck=%+v err=%v", ck, err)
 	}
@@ -355,7 +356,7 @@ func TestLoadCheckpointMissingAndCorrupt(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadCheckpoint(dir); err == nil {
+	if _, err := LoadCheckpoint(nil, dir); err == nil {
 		t.Fatal("corrupt newest checkpoint must fail recovery")
 	}
 }
@@ -363,14 +364,14 @@ func TestLoadCheckpointMissingAndCorrupt(t *testing.T) {
 func TestRemoveCheckpointsBefore(t *testing.T) {
 	dir := t.TempDir()
 	for _, seq := range []uint64{1, 2, 5} {
-		if err := WriteCheckpoint(dir, &Checkpoint{Seq: seq, Clock: seq}); err != nil {
+		if err := WriteCheckpoint(nil, dir, &Checkpoint{Seq: seq, Clock: seq}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := RemoveCheckpointsBefore(dir, 5); err != nil {
+	if err := RemoveCheckpointsBefore(nil, dir, 5); err != nil {
 		t.Fatal(err)
 	}
-	cks, _ := listCheckpoints(dir)
+	cks, _ := listCheckpoints(vfs.OS, dir)
 	if len(cks) != 1 || cks[0].Seq != 5 {
 		t.Fatalf("want only checkpoint 5, got %+v", cks)
 	}
@@ -405,7 +406,7 @@ func TestReplayHardErrorInSealedSegment(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ReplaySegments(dir, func(*Record) error { return nil }); err == nil {
+	if _, err := ReplaySegments(nil, dir, func(*Record) error { return nil }); err == nil {
 		t.Fatal("corruption in a sealed segment must be a hard error")
 	}
 }
@@ -432,11 +433,11 @@ func TestOpenAppendsAfterExistingSegments(t *testing.T) {
 	l2.Sync(lsn)
 	l2.Close()
 
-	segs, _ := ListSegments(dir)
+	segs, _ := ListSegments(nil, dir)
 	if len(segs) != 2 {
 		t.Fatalf("reopen must start a fresh segment, got %d", len(segs))
 	}
-	st, err := ReplaySegments(dir, func(*Record) error { return nil })
+	st, err := ReplaySegments(nil, dir, func(*Record) error { return nil })
 	if err != nil || st.Records != 2 || st.MaxCTS != 2 {
 		t.Fatalf("replay across reopens: %+v err=%v", st, err)
 	}
@@ -515,7 +516,7 @@ func TestListSegmentsIgnoresStrangers(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	segs, err := ListSegments(dir)
+	segs, err := ListSegments(nil, dir)
 	if err != nil || len(segs) != 0 {
 		t.Fatalf("got %+v err=%v", segs, err)
 	}

@@ -28,6 +28,17 @@ const (
 	CodeProtocol = "PROTOCOL"  // protocol violation (unknown opcode, bad sequence)
 	CodeTooLarge = "TOO_LARGE" // frame exceeded the server's size limit
 	CodeCanceled = "CANCELED"  // query canceled via a Cancel request
+	// CodeReadOnly: the server's WAL has poisoned and the database degraded
+	// to read-only — reads keep serving, writes fail until a restart.
+	CodeReadOnly = "READ_ONLY"
+	// CodeTooManyConns: the server is at Config.MaxConns; sent in response
+	// to Startup before the connection is closed. Clients may retry with
+	// backoff (the connection was refused, nothing executed).
+	CodeTooManyConns = "TOO_MANY_CONNS"
+	// CodeTimeout: the statement exceeded the server's statement timeout
+	// and was stopped at a batch boundary (partial rows may have streamed,
+	// same as CANCELED).
+	CodeTimeout = "TIMEOUT"
 )
 
 // ---- client messages ----

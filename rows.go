@@ -2,6 +2,7 @@ package neurdb
 
 import (
 	"fmt"
+	"time"
 
 	"neurdb/internal/executor"
 	"neurdb/internal/rel"
@@ -43,6 +44,11 @@ type Rows struct {
 	static   []rel.Row
 	msg      string
 	affected int
+
+	// deadline bounds the stream (Config.StatementTimeout / SET
+	// statement_timeout): enforced before each batch pull, the same
+	// granularity as client-driven Cancel. Zero = no bound.
+	deadline time.Time
 
 	cur    rel.Row
 	err    error
@@ -107,6 +113,12 @@ func (r *Rows) Next() bool {
 			return true
 		}
 		if r.it == nil { // stream already finished
+			r.cur = nil
+			return false
+		}
+		if !r.deadline.IsZero() && time.Now().After(r.deadline) {
+			r.err = ErrStatementTimeout
+			r.finish(r.err)
 			r.cur = nil
 			return false
 		}
