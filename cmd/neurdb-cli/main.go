@@ -12,6 +12,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -105,7 +106,7 @@ func repl(be backend) {
 		buf.Reset()
 		for {
 			stmt, rerr := readStatement(chunk)
-			if rerr == io.EOF && stmt != "" && err == nil {
+			if errors.Is(rerr, io.EOF) && stmt != "" && err == nil {
 				buf.WriteString(stmt)
 				buf.WriteByte('\n')
 				break
@@ -172,7 +173,7 @@ func readStatement(r *bufio.Reader) (string, error) {
 				continue
 			case '\\':
 				line, err := r.ReadString('\n')
-				if err != nil && err != io.EOF {
+				if err != nil && !errors.Is(err, io.EOF) {
 					return "", err
 				}
 				return `\` + strings.TrimSpace(line), nil

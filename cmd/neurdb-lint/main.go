@@ -29,6 +29,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"neurdb/internal/lint"
@@ -54,12 +55,19 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
+// moduleName scopes fact generation under the vet protocol: only units of
+// this module (which both the real tree and the lint fixture modules are
+// named after) carry neurdb facts; stdlib units get an empty vetx file and
+// are never typechecked.
+const moduleName = "neurdb"
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `neurdb-lint enforces neurdb's concurrency, determinism, and durability invariants.
 
 Usage:
-  neurdb-lint [-NAME...] [package ...]        standalone (packages default to ./...)
-  go vet -vettool=$(which neurdb-lint) ./...  under go vet
+  neurdb-lint [-NAME...] [-json] [package ...]  standalone (packages default to ./...)
+  neurdb-lint -suppressions [package ...]       audit every lint:ignore directive
+  go vet -vettool=$(which neurdb-lint) ./...    under go vet
 
 Analyzers:
 `)
@@ -104,7 +112,8 @@ func main() {
 
 	printflags := flag.Bool("flags", false, "print analyzer flags in JSON")
 	flag.Var(versionFlag{}, "V", "print version and exit")
-	_ = flag.Bool("json", false, "no effect (accepted for vet compatibility)")
+	jsonOut := flag.Bool("json", false, "standalone: print diagnostics as JSON on stdout")
+	suppressions := flag.Bool("suppressions", false, "audit lint:ignore directives instead of running analyzers")
 	_ = flag.Int("c", -1, "no effect (accepted for vet compatibility)")
 
 	suite := lint.All()
@@ -150,7 +159,11 @@ func main() {
 		runVetUnit(args[0], analyzers)
 		return
 	}
-	runStandalone(args, analyzers)
+	if *suppressions {
+		runSuppressionAudit(suite)
+		return
+	}
+	runStandalone(args, analyzers, *jsonOut)
 }
 
 func printFlags() {
@@ -183,27 +196,32 @@ func runVetUnit(configFile string, analyzers []*lint.Analyzer) {
 	}
 
 	// The go command runs the tool over every dependency (stdlib included)
-	// to build fact files before the packages under test. neurdb-lint has
-	// no facts, but the protocol still requires the output file to exist.
-	writeVetx := func() {
-		if cfg.VetxOutput != "" {
-			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-				log.Fatal(err)
-			}
+	// before the packages under test, threading fact files through
+	// PackageVetx/VetxOutput. The protocol requires the output file to
+	// exist even for units that carry no facts.
+	writeVetx := func(facts lint.PackageFacts) {
+		if cfg.VetxOutput == "" {
+			return
+		}
+		var data []byte
+		if len(facts) > 0 {
+			data = facts.Encode()
+		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+			log.Fatal(err)
 		}
 	}
 
-	var applicable []*lint.Analyzer
-	for _, a := range analyzers {
-		if a.AppliesTo(cfg.ImportPath) {
-			applicable = append(applicable, a)
-		}
-	}
-	// Fact-only invocations and packages no analyzer is pinned to need no
-	// typechecking at all — this keeps `go vet -vettool` fast: only the
-	// handful of invariant-bearing packages are analyzed.
-	if cfg.VetxOnly || len(applicable) == 0 {
-		writeVetx()
+	// Only module units are analyzed: stdlib and synthesized test-main
+	// units (.test) have no neurdb invariants and no neurdb facts, and
+	// skipping their typechecking keeps `go vet -vettool` fast. Module
+	// units are always analyzed in full — even under VetxOnly, and even
+	// when no analyzer is pinned to them — because the fact-generating
+	// passes (summaries, exhaustive, atomicmix) must see every in-module
+	// package for downstream importers.
+	unitPath := unitImportPath(cfg)
+	if !inModuleUnit(unitPath) {
+		writeVetx(nil)
 		return
 	}
 
@@ -213,7 +231,7 @@ func runVetUnit(configFile string, analyzers []*lint.Analyzer) {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				writeVetx()
+				writeVetx(nil)
 				return
 			}
 			log.Fatal(err)
@@ -248,24 +266,61 @@ func runVetUnit(configFile string, analyzers []*lint.Analyzer) {
 		Implicits:  make(map[ast.Node]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
-	tpkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	// Typecheck under the unit's clean import path (the test variant of a
+	// package arrives as "path [path.test]"), so package pinning and fact
+	// keys see the real path.
+	tpkg, err := tc.Check(unitPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			writeVetx()
+			writeVetx(nil)
 			return
 		}
 		log.Fatal(err)
 	}
 
-	diags, err := lint.RunAnalyzers(&lint.Package{Fset: fset, Files: files, Pkg: tpkg, Info: info}, applicable)
+	// Dependencies analyzed before us left their facts in vetx files; the
+	// runner resolves cross-package fact imports from this preloaded store
+	// (LoadDep stays nil — the go command already scheduled deps first).
+	runner := lint.NewRunner(analyzers)
+	for dep, vetxFile := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetxFile)
+		if err != nil {
+			continue // degraded precision, never a failure
+		}
+		runner.SetFacts(dep, lint.DecodeFacts(data))
+	}
+	diags, facts, err := runner.Run(&lint.Package{Fset: fset, Files: files, Pkg: tpkg, Info: info})
 	if err != nil {
 		log.Fatal(err)
 	}
-	writeVetx()
-	if len(diags) > 0 {
-		printDiags(fset, diags)
+	writeVetx(facts)
+	if len(diags) > 0 && !cfg.VetxOnly {
+		printDiags(os.Stderr, fset, diags)
 		os.Exit(1)
 	}
+}
+
+// unitImportPath strips the test-variant suffix from a vet unit's import
+// path: "neurdb/internal/txn [neurdb/internal/txn.test]" analyzes as
+// "neurdb/internal/txn".
+func unitImportPath(cfg *vetConfig) string {
+	p := cfg.ImportPath
+	if i := strings.Index(p, " ["); i >= 0 {
+		p = p[:i]
+	}
+	return p
+}
+
+// inModuleUnit reports whether a vet unit belongs to the neurdb module:
+// the module path, its subtree, or an external test package of either.
+// Synthesized test mains (".test") are excluded.
+func inModuleUnit(path string) bool {
+	if strings.HasSuffix(path, ".test") {
+		return false
+	}
+	return path == moduleName ||
+		path == moduleName+"_test" ||
+		strings.HasPrefix(path, moduleName+"/")
 }
 
 type importerFunc func(path string) (*types.Package, error)
@@ -274,7 +329,52 @@ func (f importerFunc) Import(path string) (*types.Package, error) { return f(pat
 
 // runStandalone loads the module containing the working directory from
 // source and runs the suite over the requested packages (default ./...).
-func runStandalone(args []string, analyzers []*lint.Analyzer) {
+func runStandalone(args []string, analyzers []*lint.Analyzer, jsonOut bool) {
+	_, loader, paths := resolveTargets(args)
+
+	// One runner across all packages: facts generated while analyzing one
+	// package (or lazily, for a dependency outside the requested set) feed
+	// every later package's interprocedural analyzers.
+	runner := lint.NewRunner(analyzers)
+	runner.Module = loader.Module
+	runner.LoadDep = loader.Load
+
+	var all []lint.Diagnostic
+	for _, path := range paths {
+		applies := false
+		for _, a := range analyzers {
+			if a.AppliesTo(path) || a.Facts {
+				applies = true
+				break
+			}
+		}
+		if !applies {
+			continue
+		}
+		pkg, err := loader.Load(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		diags, _, err := runner.Run(pkg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		all = append(all, diags...)
+	}
+
+	if jsonOut {
+		printJSON(loader.Fset(), all)
+	} else {
+		printDiags(os.Stderr, loader.Fset(), all)
+		printSummary(os.Stderr, all)
+	}
+	if len(all) > 0 {
+		os.Exit(1)
+	}
+}
+
+// resolveTargets maps the command line to module import paths.
+func resolveTargets(args []string) (string, *lint.Loader, []string) {
 	root, err := findModuleRoot()
 	if err != nil {
 		log.Fatal(err)
@@ -283,7 +383,6 @@ func runStandalone(args []string, analyzers []*lint.Analyzer) {
 	if err != nil {
 		log.Fatal(err)
 	}
-
 	var paths []string
 	wantAll := len(args) == 0
 	for _, a := range args {
@@ -305,32 +404,134 @@ func runStandalone(args []string, analyzers []*lint.Analyzer) {
 			paths = append(paths, resolvePath(loader, root, cwd, a))
 		}
 	}
+	return root, loader, paths
+}
 
-	exit := 0
-	for _, path := range paths {
-		applies := false
-		for _, a := range analyzers {
-			if a.AppliesTo(path) {
-				applies = true
-				break
+// printSummary appends a per-analyzer finding count so a long run ends with
+// the shape of the damage, not just its tail.
+func printSummary(w io.Writer, diags []lint.Diagnostic) {
+	if len(diags) == 0 {
+		return
+	}
+	counts := make(map[string]int)
+	for _, d := range diags {
+		counts[d.Analyzer]++
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "\n%d finding(s):\n", len(diags))
+	for _, n := range names {
+		fmt.Fprintf(w, "  %-12s %d\n", n, counts[n])
+	}
+}
+
+// jsonDiag is the -json wire form of one diagnostic (the CI lint job
+// uploads the array as a build artifact).
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func printJSON(fset *token.FileSet, diags []lint.Diagnostic) {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		out = append(out, jsonDiag{pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message})
+	}
+	data, err := json.MarshalIndent(out, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(append(data, '\n'))
+}
+
+// runSuppressionAudit lists every `//lint:ignore` directive in the module —
+// test files included — and fails on directives that name an unknown
+// analyzer or carry no rationale. A suppression is a signed waiver of an
+// invariant; an unsigned one is a finding.
+func runSuppressionAudit(suite []*lint.Analyzer) {
+	root, err := findModuleRoot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	known := map[string]bool{"all": true}
+	for _, a := range suite {
+		known[a.Name] = true
+	}
+
+	type suppression struct {
+		pos      token.Position
+		analyzer string
+		reason   string
+		bad      string // non-empty: why this directive fails the audit
+	}
+	var found []suppression
+	fset := token.NewFileSet()
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "lint:ignore")
+				if !ok {
+					continue
+				}
+				s := suppression{pos: fset.Position(c.Pos())}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					s.bad = "missing analyzer name and rationale"
+				case !known[fields[0]]:
+					s.analyzer = fields[0]
+					s.bad = "unknown analyzer"
+				case len(fields) < 2:
+					s.analyzer = fields[0]
+					s.bad = "missing rationale"
+				default:
+					s.analyzer = fields[0]
+					s.reason = strings.Join(fields[1:], " ")
+				}
+				found = append(found, s)
 			}
 		}
-		if !applies {
-			continue
-		}
-		pkg, err := loader.Load(path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		diags, err := lint.RunAnalyzers(pkg, analyzers)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if len(diags) > 0 {
-			printDiags(loader.Fset(), diags)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	exit := 0
+	for _, s := range found {
+		if s.bad != "" {
+			fmt.Fprintf(os.Stderr, "%s: BAD (%s): lint:ignore %s\n", s.pos, s.bad, s.analyzer)
 			exit = 1
+		} else {
+			fmt.Fprintf(os.Stdout, "%s: %s: %s\n", s.pos, s.analyzer, s.reason)
 		}
 	}
+	fmt.Fprintf(os.Stderr, "%d suppression(s) audited\n", len(found))
 	os.Exit(exit)
 }
 
@@ -367,8 +568,8 @@ func findModuleRoot() (string, error) {
 	}
 }
 
-func printDiags(fset *token.FileSet, diags []lint.Diagnostic) {
+func printDiags(w io.Writer, fset *token.FileSet, diags []lint.Diagnostic) {
 	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		fmt.Fprintf(w, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
 	}
 }

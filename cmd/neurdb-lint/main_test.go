@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -40,7 +41,8 @@ func TestVettoolSmoke(t *testing.T) {
 	if err == nil {
 		t.Fatalf("go vet succeeded over the known-bad fixture module; stderr:\n%s", stderr.String())
 	}
-	if _, ok := err.(*exec.ExitError); !ok {
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
 		t.Fatalf("go vet did not run: %v\n%s", err, stderr.String())
 	}
 

@@ -803,6 +803,8 @@ func evalConstExpr(e sqlparse.Expr, args []rel.Value) (rel.Value, error) {
 				return rel.Int(-v.I), nil
 			case rel.TypeFloat:
 				return rel.Float(-v.F), nil
+			default:
+				// Non-numeric: fall through to the error below.
 			}
 		}
 		return rel.Value{}, fmt.Errorf("neurdb: unsupported constant expression")

@@ -1,6 +1,7 @@
 package executor
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -243,7 +244,7 @@ func TestBatchDMLWriteConflict(t *testing.T) {
 	if _, err := UpdateWhere(c1, tbl, set, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := UpdateWhere(c2, tbl, set, nil); err != txn.ErrWriteConflict {
+	if _, err := UpdateWhere(c2, tbl, set, nil); !errors.Is(err, txn.ErrWriteConflict) {
 		t.Fatalf("expected write conflict, got %v", err)
 	}
 	db.mgr.Abort(c2.Txn)

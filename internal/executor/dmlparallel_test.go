@@ -1,6 +1,7 @@
 package executor
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -139,7 +140,7 @@ func TestParallelDMLConflictAborts(t *testing.T) {
 		t.Fatal(err)
 	}
 	c2 := db.pctx(4)
-	if _, err := UpdateWhere(c2, tbl, set, nil); err != txn.ErrWriteConflict {
+	if _, err := UpdateWhere(c2, tbl, set, nil); !errors.Is(err, txn.ErrWriteConflict) {
 		t.Fatalf("expected write conflict, got %v", err)
 	}
 	db.mgr.Abort(c2.Txn)

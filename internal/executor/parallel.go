@@ -77,8 +77,10 @@ func extractPipeline(n plan.Node) (*scanPipeline, bool) {
 		}
 		p.stages = append(p.stages, pipeStage{exprs: t.Exprs})
 		return p, true
+	default:
+		// Blocking operators and point reads split pipelines.
+		return nil, false
 	}
-	return nil, false
 }
 
 // pipelineWorkers decides the degree of parallelism for a pipeline under

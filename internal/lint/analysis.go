@@ -14,11 +14,11 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
 )
 
@@ -31,7 +31,15 @@ type Analyzer struct {
 	// package with exactly that path; a trailing "/..." matches the
 	// subtree. Empty means every package.
 	Packages []string
-	Run      func(*Pass) error
+	// Facts marks an analyzer that exports cross-package facts: it runs on
+	// every in-module package (reporting only where it AppliesTo) so its
+	// facts exist for downstream importers.
+	Facts bool
+	// IncludeTests extends the analysis to _test.go files. Most invariants
+	// are production-code contracts, but some (error-comparison hygiene)
+	// matter exactly as much in tests.
+	IncludeTests bool
+	Run          func(*Pass) error
 }
 
 // AppliesTo reports whether the analyzer runs on the given import path.
@@ -69,12 +77,61 @@ type Pass struct {
 
 	diagnostics []Diagnostic
 	ignores     map[string]map[int]map[string]bool // file -> line -> analyzer set
+	// report is false when the analyzer runs purely to generate facts on a
+	// package outside its pin set; Reportf is then a no-op.
+	report bool
+	runner *Runner
+	// exports is the current package's accumulating fact set, shared by
+	// every pass over the package so later analyzers see facts exported by
+	// earlier ones (the summaries pass runs first; see All).
+	exports PackageFacts
+}
+
+// ExportFact publishes a fact under the given object key for downstream
+// packages (and for this package's own later ImportFact calls). The value
+// must be JSON-serializable.
+func (p *Pass) ExportFact(key string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("lint: %s: fact %q not serializable: %v", p.Analyzer.Name, key, err))
+	}
+	m := p.exports[p.Analyzer.Name]
+	if m == nil {
+		m = make(map[string]json.RawMessage)
+		p.exports[p.Analyzer.Name] = m
+	}
+	m[key] = data
+}
+
+// ImportFact looks up a fact exported under this analyzer's name by the
+// named package and decodes it into out, reporting whether it existed.
+func (p *Pass) ImportFact(pkgPath, key string, out any) bool {
+	return p.ImportAnalyzerFact(p.Analyzer.Name, pkgPath, key, out)
+}
+
+// ImportAnalyzerFact looks up a fact exported by any analyzer — the
+// summaries pass publishes interprocedural function summaries that several
+// analyzers consume. The named package may be the package currently under
+// analysis; its own exports are visible immediately.
+func (p *Pass) ImportAnalyzerFact(analyzer, pkgPath, key string, out any) bool {
+	var raw json.RawMessage
+	if pkgPath == p.Pkg.Path() {
+		raw = p.exports[analyzer][key]
+	} else if p.runner != nil {
+		if facts := p.runner.FactsOf(pkgPath); facts != nil {
+			raw = facts[analyzer][key]
+		}
+	}
+	if raw == nil {
+		return false
+	}
+	return json.Unmarshal(raw, out) == nil
 }
 
 // Reportf records a diagnostic unless a `//lint:ignore <name> <reason>`
 // directive on the same line or the line above suppresses it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	if p.ignored(pos) {
+	if !p.report || p.ignored(pos) {
 		return
 	}
 	p.diagnostics = append(p.diagnostics, Diagnostic{
@@ -142,53 +199,32 @@ type Package struct {
 	Info  *types.Info
 }
 
-// RunAnalyzers runs every applicable analyzer over the package and returns
-// the diagnostics sorted by position. Test files are excluded: the
-// invariants are production-code contracts, and under `go vet` the
-// compilation unit for a package's test variant includes its _test.go
-// files.
+// RunAnalyzers runs every applicable analyzer over one package in
+// isolation: a convenience wrapper over a single-package Runner with no
+// cross-package fact sources. Analyzers degrade gracefully to package-local
+// precision when a dependency's facts are unavailable, so this remains
+// correct — multi-package drivers use a Runner directly.
 func RunAnalyzers(p *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	files := make([]*ast.File, 0, len(p.Files))
-	for _, f := range p.Files {
-		if !strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
-			files = append(files, f)
-		}
-	}
-	ignores := buildIgnores(p.Fset, files)
-	var out []Diagnostic
-	for _, a := range analyzers {
-		if !a.AppliesTo(p.Pkg.Path()) {
-			continue
-		}
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      p.Fset,
-			Files:     files,
-			Pkg:       p.Pkg,
-			TypesInfo: p.Info,
-			ignores:   ignores,
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %w", a.Name, err)
-		}
-		out = append(out, pass.diagnostics...)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Pos != out[j].Pos {
-			return out[i].Pos < out[j].Pos
-		}
-		return out[i].Analyzer < out[j].Analyzer
-	})
-	return out, nil
+	diags, _, err := NewRunner(analyzers).Run(p)
+	return diags, err
 }
 
-// All returns the full neurdb-lint analyzer suite.
+// All returns the full neurdb-lint analyzer suite. Summaries runs first by
+// construction: passes execute in slice order and share one fact store per
+// package, so its interprocedural function summaries are already exported
+// when the same package's gateorder and lifecycle passes import them.
 func All() []*Analyzer {
 	return []*Analyzer{
+		Summaries,
 		StripeLock,
 		CommitGate,
 		BatchAlias,
 		DetOrder,
 		IOErr,
+		Lifecycle,
+		AtomicMix,
+		ErrCmp,
+		Exhaustive,
+		GateOrder,
 	}
 }

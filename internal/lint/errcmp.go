@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrCmp enforces wrap-safe error handling: the engine's typed sentinels
+// (ErrReadOnly, ErrStatementTimeout, txn.ErrWriteConflict, io.EOF at the
+// wire edge) travel through fmt.Errorf("%w") wrapping, client round-trips,
+// and retry loops. A direct ==/!= against a sentinel, a switch over the
+// error value, or a concrete type assertion all break the moment any layer
+// in between wraps the error — errors.Is and errors.As are the only
+// comparisons that survive wrapping. Tests are included: an identity
+// comparison in a test encodes the same fragile assumption and rots the
+// suite when wrapping is added.
+var ErrCmp = &Analyzer{
+	Name:         "errcmp",
+	Doc:          "flag ==/!=/switch/type-assert on error values where errors.Is/errors.As is required",
+	Packages:     []string{"neurdb", "neurdb/..."},
+	IncludeTests: true,
+	Run:          runErrCmp,
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+// sentinelErrVar resolves an expression to a package-level error variable
+// (an error sentinel), nil otherwise.
+func sentinelErrVar(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	if v == nil || v.IsField() || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func runErrCmp(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(node ast.Node) bool {
+			switch n := node.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, pair := range [2][2]ast.Expr{{n.X, n.Y}, {n.Y, n.X}} {
+					sent := sentinelErrVar(info, pair[0])
+					if sent == nil || !isErrorType(info.TypeOf(pair[1])) {
+						continue
+					}
+					pass.Reportf(n.Pos(), "error compared with %s against sentinel %s; use errors.Is so wrapped errors still match", n.Op, sent.Name())
+					break
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isErrorType(info.TypeOf(n.Tag)) {
+					return true
+				}
+				for _, c := range n.Body.List {
+					cc := c.(*ast.CaseClause)
+					for _, e := range cc.List {
+						if sent := sentinelErrVar(info, e); sent != nil {
+							pass.Reportf(e.Pos(), "switch over an error value matches sentinel %s by identity; use if/else with errors.Is", sent.Name())
+						}
+					}
+				}
+			case *ast.TypeAssertExpr:
+				// n.Type == nil is the `.(type)` of a type switch, handled
+				// below with clause-level precision.
+				if n.Type == nil || !isErrorType(info.TypeOf(n.X)) {
+					return true
+				}
+				if t := info.TypeOf(n.Type); t != nil {
+					if _, isIface := t.Underlying().(*types.Interface); !isIface {
+						pass.Reportf(n.Pos(), "concrete type assertion on an error; use errors.As so wrapped errors still match")
+					}
+				}
+			case *ast.TypeSwitchStmt:
+				x := typeSwitchSubject(n)
+				if x == nil || !isErrorType(info.TypeOf(x)) {
+					return true
+				}
+				for _, c := range n.Body.List {
+					cc := c.(*ast.CaseClause)
+					for _, e := range cc.List {
+						t := info.TypeOf(e)
+						if t == nil {
+							continue
+						}
+						if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+							continue // `case nil:` is the legitimate nil check
+						}
+						if _, isIface := t.Underlying().(*types.Interface); !isIface {
+							pass.Reportf(e.Pos(), "type switch case matches a concrete error type by identity; use errors.As so wrapped errors still match")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// typeSwitchSubject extracts the asserted expression of a type switch:
+// `switch x.(type)` or `switch v := x.(type)`.
+func typeSwitchSubject(s *ast.TypeSwitchStmt) ast.Expr {
+	var e ast.Expr
+	switch a := s.Assign.(type) {
+	case *ast.ExprStmt:
+		e = a.X
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			e = a.Rhs[0]
+		}
+	}
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		return ta.X
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive enforces closed-set switch coverage. A type opts in with a
+// `//lint:closedenum` directive on its declaration; the analyzer then
+// exports the type's member set as a fact from its defining package — every
+// package-level constant of the type, or for an interface every
+// implementing named type declared alongside it — and flags any switch
+// without a default clause that fails to cover every member, wherever in
+// the module the switch lives.
+//
+// This is what keeps a new wire opcode, plan-node kind, or rel value tag
+// from silently falling through a dispatch switch three packages away: the
+// build stays green, the lint run does not.
+var Exhaustive = &Analyzer{
+	Name:     "exhaustive",
+	Doc:      "flag default-less switches over //lint:closedenum types that miss members",
+	Packages: []string{"neurdb", "neurdb/..."},
+	Facts:    true,
+	Run:      runExhaustive,
+}
+
+// enumFact is the closed member set of one marked type.
+type enumFact struct {
+	// Members is sorted; const names for value enums, implementing type
+	// names for interfaces.
+	Members   []string
+	Interface bool
+}
+
+const closedEnumDirective = "lint:closedenum"
+
+// closedEnumDecls returns the names of types in this package marked with
+// //lint:closedenum.
+func closedEnumDecls(files []*ast.File) map[string]bool {
+	marked := make(map[string]bool)
+	hasDirective := func(groups ...*ast.CommentGroup) bool {
+		for _, g := range groups {
+			if g == nil {
+				continue
+			}
+			for _, c := range g.List {
+				if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), closedEnumDirective) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasDirective(gd.Doc, ts.Doc, ts.Comment) {
+					marked[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	return marked
+}
+
+// enumMembers computes the closed set for a marked type in its defining
+// package: constants of the type, or named types implementing the
+// interface (by value or pointer). The blank identifier never counts.
+func enumMembers(pkg *types.Package, name string) (enumFact, bool) {
+	obj, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		return enumFact{}, false
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return enumFact{}, false
+	}
+	var fact enumFact
+	if iface, ok := named.Underlying().(*types.Interface); ok {
+		fact.Interface = true
+		for _, n := range pkg.Scope().Names() {
+			tn, ok := pkg.Scope().Lookup(n).(*types.TypeName)
+			if !ok || tn == obj || tn.IsAlias() {
+				continue
+			}
+			t := tn.Type()
+			if _, isIface := t.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+				fact.Members = append(fact.Members, tn.Name())
+			}
+		}
+	} else {
+		for _, n := range pkg.Scope().Names() {
+			c, ok := pkg.Scope().Lookup(n).(*types.Const)
+			if !ok || c.Name() == "_" {
+				continue
+			}
+			if types.Identical(c.Type(), named) {
+				fact.Members = append(fact.Members, c.Name())
+			}
+		}
+	}
+	sort.Strings(fact.Members)
+	return fact, len(fact.Members) > 0
+}
+
+func runExhaustive(pass *Pass) error {
+	info := pass.TypesInfo
+
+	// Export facts for this package's marked types.
+	for name := range closedEnumDecls(pass.Files) {
+		if fact, ok := enumMembers(pass.Pkg, name); ok {
+			pass.ExportFact(name, fact)
+		}
+	}
+
+	// enumOf resolves a type to its closed-enum fact, local or imported.
+	enumOf := func(t types.Type) (string, enumFact, bool) {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil || !inModulePkg(named.Obj().Pkg()) {
+			return "", enumFact{}, false
+		}
+		var fact enumFact
+		if pass.ImportFact(named.Obj().Pkg().Path(), named.Obj().Name(), &fact) {
+			qual := named.Obj().Name()
+			if named.Obj().Pkg() != pass.Pkg {
+				qual = named.Obj().Pkg().Name() + "." + qual
+			}
+			return qual, fact, true
+		}
+		return "", enumFact{}, false
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(node ast.Node) bool {
+			switch n := node.(type) {
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				t := info.TypeOf(n.Tag)
+				if t == nil {
+					return true
+				}
+				name, fact, ok := enumOf(t)
+				if !ok || fact.Interface {
+					return true
+				}
+				covered := make(map[string]bool)
+				for _, c := range n.Body.List {
+					cc := c.(*ast.CaseClause)
+					if cc.List == nil {
+						return true // default clause: open by design
+					}
+					for _, e := range cc.List {
+						if cn := constName(info, e); cn != "" {
+							covered[cn] = true
+						}
+					}
+				}
+				reportMissing(pass, n.Pos(), name, fact.Members, covered)
+			case *ast.TypeSwitchStmt:
+				x := typeSwitchSubject(n)
+				if x == nil {
+					return true
+				}
+				t := info.TypeOf(x)
+				if t == nil {
+					return true
+				}
+				name, fact, ok := enumOf(t)
+				if !ok || !fact.Interface {
+					return true
+				}
+				covered := make(map[string]bool)
+				for _, c := range n.Body.List {
+					cc := c.(*ast.CaseClause)
+					if cc.List == nil {
+						return true // default clause: open by design
+					}
+					for _, e := range cc.List {
+						ct := info.TypeOf(e)
+						if ct == nil {
+							continue
+						}
+						if p, ok := ct.(*types.Pointer); ok {
+							ct = p.Elem()
+						}
+						if named, ok := ct.(*types.Named); ok {
+							covered[named.Obj().Name()] = true
+						}
+					}
+				}
+				reportMissing(pass, n.Pos(), name, fact.Members, covered)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// constName resolves a case expression to the constant it names.
+func constName(info *types.Info, e ast.Expr) string {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	if c, ok := info.Uses[id].(*types.Const); ok {
+		return c.Name()
+	}
+	return ""
+}
+
+// reportMissing flags a default-less switch that fails to cover the closed
+// set.
+func reportMissing(pass *Pass, pos token.Pos, name string, members []string, covered map[string]bool) {
+	var missing []string
+	for _, m := range members {
+		if !covered[m] {
+			missing = append(missing, m)
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(pos, "switch over closed enum %s misses %s; cover every member or add a default", name, strings.Join(missing, ", "))
+	}
+}

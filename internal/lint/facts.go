@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"go/types"
+)
+
+// PackageFacts is everything a package's analysis exports for downstream
+// packages: analyzer name -> object key -> JSON-encoded fact. Facts are how
+// invariants cross package boundaries — an enum's closed member set, a
+// function's may-acquire-stripe summary — without the consumer re-analyzing
+// the producer's source. Under `go vet -vettool` they serialize into the
+// unitchecker's vetx files (the go command hands each unit its dependencies'
+// files via PackageVetx and collects ours via VetxOutput); standalone and in
+// linttest they live in the Runner's in-memory store.
+type PackageFacts map[string]map[string]json.RawMessage
+
+// factsHeader versions the vetx payload so a stale cache entry written by an
+// older neurdb-lint decodes to "no facts" instead of garbage.
+const factsHeader = "neurdb-lint-facts/v1\n"
+
+// Encode serializes the fact set (deterministically — vetx files are cached
+// by content hash).
+func (f PackageFacts) Encode() []byte {
+	data, err := json.Marshal(f)
+	if err != nil {
+		// Facts are plain JSON-able structs by construction; a marshal
+		// failure is an analyzer bug.
+		panic(fmt.Sprintf("lint: encoding facts: %v", err))
+	}
+	return append([]byte(factsHeader), data...)
+}
+
+// DecodeFacts parses a vetx payload. Unrecognized or empty payloads (for
+// example the empty files written for stdlib units, or files from an older
+// tool version) decode to nil, not an error: missing facts degrade an
+// interprocedural analyzer to package-local precision, they never fail it.
+func DecodeFacts(data []byte) PackageFacts {
+	rest, ok := strings.CutPrefix(string(data), factsHeader)
+	if !ok {
+		return nil
+	}
+	var f PackageFacts
+	if err := json.Unmarshal([]byte(rest), &f); err != nil {
+		return nil
+	}
+	return f
+}
+
+// FuncKey returns the fact key for a function or method: "Name" for
+// package-level functions, "Recv.Name" for methods (pointer receivers
+// stripped), so producer and consumer derive the same key from a
+// *types.Func regardless of which side resolved it.
+func FuncKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// FieldKey returns the fact key for a struct field: "Type.field".
+func FieldKey(typeName, field string) string { return typeName + "." + field }
+
+// Runner drives the analyzer suite over one or more packages with a shared
+// cross-package fact store. Facts for a dependency come from whichever
+// source the mode provides: preloaded vetx files (vet mode, via SetFacts) or
+// lazy analysis of the dependency's source (standalone and linttest, via
+// LoadDep).
+type Runner struct {
+	Analyzers []*Analyzer
+	// LoadDep, when set, loads an in-module dependency package so its
+	// fact-generating analyzers can run on demand. nil in vet mode, where
+	// the go command schedules dependencies first and hands us their vetx
+	// files instead.
+	LoadDep func(path string) (*Package, error)
+	// Module scopes lazy fact generation to in-module import paths;
+	// stdlib dependencies have no neurdb facts and are never loaded.
+	Module string
+
+	facts     map[string]PackageFacts
+	analyzing map[string]bool
+}
+
+// NewRunner returns a Runner over the given analyzers.
+func NewRunner(analyzers []*Analyzer) *Runner {
+	return &Runner{
+		Analyzers: analyzers,
+		facts:     make(map[string]PackageFacts),
+		analyzing: make(map[string]bool),
+	}
+}
+
+// SetFacts installs a dependency's decoded fact set (vet mode).
+func (r *Runner) SetFacts(pkgPath string, f PackageFacts) {
+	r.facts[pkgPath] = f
+}
+
+// FactsOf returns pkgPath's facts, generating them by analyzing the package
+// if a loader is available and they are not yet known. Import cycles are
+// impossible in valid Go, but the analyzing guard keeps a corrupted input
+// from recursing forever.
+func (r *Runner) FactsOf(pkgPath string) PackageFacts {
+	if f, ok := r.facts[pkgPath]; ok {
+		return f
+	}
+	if r.LoadDep == nil || r.analyzing[pkgPath] || !r.inModule(pkgPath) {
+		return nil
+	}
+	p, err := r.LoadDep(pkgPath)
+	if err != nil {
+		return nil
+	}
+	if _, _, err := r.Run(p); err != nil {
+		return nil
+	}
+	return r.facts[pkgPath]
+}
+
+func (r *Runner) inModule(pkgPath string) bool {
+	return r.Module != "" && (pkgPath == r.Module || strings.HasPrefix(pkgPath, r.Module+"/"))
+}
+
+// Run analyzes one package: every analyzer that either applies to it (and
+// may report) or generates facts (and must run even where it reports
+// nothing, so downstream packages see its summaries) executes over the
+// package. Returns position-sorted diagnostics and the package's exported
+// facts, which are also retained in the runner's store for later packages.
+func (r *Runner) Run(p *Package) ([]Diagnostic, PackageFacts, error) {
+	path := p.Pkg.Path()
+	r.analyzing[path] = true
+	defer delete(r.analyzing, path)
+
+	// Production files: the invariants are production-code contracts, and
+	// under `go vet` a test variant's compilation unit includes _test.go
+	// files. Analyzers that opt in (IncludeTests) see the full file set —
+	// error-handling idioms matter in tests too.
+	var prod []int
+	for i, f := range p.Files {
+		if !strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+			prod = append(prod, i)
+		}
+	}
+	ignores := buildIgnores(p.Fset, p.Files)
+
+	exported := make(PackageFacts)
+	var out []Diagnostic
+	for _, a := range r.Analyzers {
+		applies := a.AppliesTo(path)
+		if !applies && !a.Facts {
+			continue
+		}
+		files := p.Files
+		if !a.IncludeTests {
+			files = files[:0:0]
+			for _, i := range prod {
+				files = append(files, p.Files[i])
+			}
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      p.Fset,
+			Files:     files,
+			Pkg:       p.Pkg,
+			TypesInfo: p.Info,
+			ignores:   ignores,
+			report:    applies,
+			runner:    r,
+			exports:   exported,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		out = append(out, pass.diagnostics...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	r.facts[path] = exported
+	return out, exported, nil
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// GateOrder enforces the engine's lock order between the two commit-path
+// lock tiers: write-claim stripes (txn) are always acquired BEFORE the WAL
+// commit gate (wal.Log.GateRLock/GateLock). Committers hold stripes and
+// briefly RLock the gate; the checkpointer write-locks the gate alone.
+// Acquiring a stripe while the gate is held inverts the order against the
+// checkpointer and deadlocks the commit path under contention.
+//
+// The analysis is a forward may-analysis over the lint IR: gate depth joins
+// by max across predecessors, and a stripe acquisition — directly, or via
+// any call whose interprocedural summary says it may acquire (summaries
+// facts, cross-package) — at a point where the gate may be held is
+// reported.
+var GateOrder = &Analyzer{
+	Name: "gateorder",
+	Doc:  "flag stripe acquisition while the WAL commit gate is held (lock order: stripe before gate), interprocedurally",
+	Packages: []string{
+		"neurdb",
+		"neurdb/internal/txn",
+		"neurdb/internal/wal",
+		"neurdb/internal/executor",
+	},
+	Run: runGateOrder,
+}
+
+func isGateRelease(name string) bool {
+	return name == "GateRUnlock" || name == "GateUnlock"
+}
+
+const gateDepthCap = 2 // depth beyond 2 adds no information; capping bounds the lattice
+
+type gateScan struct {
+	pass     *Pass
+	reported map[token.Pos]bool
+}
+
+func runGateOrder(pass *Pass) error {
+	s := &gateScan{pass: pass, reported: make(map[token.Pos]bool)}
+	var bodies []*ast.BlockStmt
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				bodies = append(bodies, fd.Body)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				bodies = append(bodies, lit.Body)
+			}
+			return true
+		})
+	}
+	for _, body := range bodies {
+		s.analyze(body)
+	}
+	return nil
+}
+
+func (s *gateScan) analyze(body *ast.BlockStmt) {
+	ir := BuildIR(body)
+	blocks := ir.ReversePostorder()
+	idx := make(map[*Block]int, len(blocks))
+	for i, b := range blocks {
+		idx[b] = i
+	}
+	preds := make([][]int, len(blocks))
+	for i, b := range blocks {
+		for _, succ := range b.Succs {
+			if j, ok := idx[succ]; ok {
+				preds[j] = append(preds[j], i)
+			}
+		}
+	}
+
+	entry := make([]int, len(blocks))
+	exit := make([]int, len(blocks))
+	for changed := true; changed; {
+		changed = false
+		for i, b := range blocks {
+			in := 0
+			for _, p := range preds[i] {
+				if exit[p] > in {
+					in = exit[p]
+				}
+			}
+			entry[i] = in
+			out := in
+			for _, n := range b.Nodes {
+				out = s.transfer(out, n, false)
+			}
+			if out != exit[i] {
+				exit[i] = out
+				changed = true
+			}
+		}
+	}
+	for i, b := range blocks {
+		depth := entry[i]
+		for _, n := range b.Nodes {
+			depth = s.transfer(depth, n, true)
+		}
+	}
+}
+
+// transfer pushes one node's gate effects through the depth, reporting
+// stripe acquisitions under a held gate when report is set.
+func (s *gateScan) transfer(depth int, node ast.Node, report bool) int {
+	if _, ok := node.(*ast.RangeStmt); ok {
+		return depth // binding only; X was emitted in the predecessor
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, _ := selName(call)
+		switch {
+		case isGateCall(name):
+			if depth < gateDepthCap {
+				depth++
+			}
+		case isGateRelease(name):
+			if depth > 0 {
+				depth--
+			}
+		}
+		if depth == 0 {
+			return true
+		}
+		if acq, _, callee := classifyStripeCall(call); acq {
+			s.report(report, call.Pos(), "%s acquires a write-claim stripe while the WAL commit gate is held; lock order is stripe before gate", callee)
+			return true
+		}
+		// Interprocedural: a callee that may acquire a stripe somewhere
+		// down its call chain is just as much an inversion.
+		if fn := calleeFunc(s.pass.TypesInfo, call); fn != nil && fn.Pkg() != nil && inModulePkg(fn.Pkg()) {
+			var sum Summary
+			if s.pass.ImportAnalyzerFact(summariesName, fn.Pkg().Path(), summaryKey(fn), &sum) && sum.AcquiresStripe {
+				s.report(report, call.Pos(), "call to %s may acquire a write-claim stripe (via its call chain) while the WAL commit gate is held; lock order is stripe before gate", summaryKey(fn))
+			}
+		}
+		return true
+	})
+	return depth
+}
+
+func (s *gateScan) report(enabled bool, pos token.Pos, format string, args ...any) {
+	if !enabled || s.reported[pos] {
+		return
+	}
+	s.reported[pos] = true
+	s.pass.Reportf(pos, format, args...)
+}

@@ -1,0 +1,337 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the dataflow layer under the flow-sensitive analyzers: a
+// lightweight control-flow graph ("SSA-lite") built per function body over
+// the go/types-checked AST. Blocks hold leaf statements and header
+// expressions in evaluation order; compound statements are decomposed into
+// blocks and edges. Analyzers run classic worklist dataflow over the graph
+// (see ReversePostorder) with whatever lattice their invariant needs —
+// lifecycle tracks close-states per local, gateorder tracks lock depths.
+//
+// Conventions:
+//   - A *ast.RangeStmt appearing in a block means only the per-iteration
+//     key/value binding; its X was emitted in the predecessor and its Body
+//     has its own blocks. Analyzers must not walk into .Body of a node they
+//     find in a block (only range headers appear this way).
+//   - Function literals are never inlined: a closure runs at another time,
+//     so it gets its own FuncIR.
+//   - goto sets Imprecise; must-analyses should skip such functions rather
+//     than report from an unsound graph. (The engine has no gotos.)
+
+// Block is one straight-line run of nodes with control-flow successors.
+type Block struct {
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// FuncIR is the control-flow graph of one function body.
+type FuncIR struct {
+	Entry, Exit *Block
+	Blocks      []*Block
+	// Imprecise is set when the body contains control flow the builder
+	// does not model exactly (goto); must-style analyses should bail.
+	Imprecise bool
+}
+
+// ReversePostorder returns the blocks reachable from Entry in reverse
+// postorder — the canonical iteration order for forward dataflow.
+func (ir *FuncIR) ReversePostorder() []*Block {
+	seen := make(map[*Block]bool, len(ir.Blocks))
+	var post []*Block
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(ir.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// BuildIR constructs the control-flow graph of a function body.
+func BuildIR(body *ast.BlockStmt) *FuncIR {
+	b := &irBuilder{ir: &FuncIR{}}
+	b.ir.Entry = b.newBlock()
+	b.ir.Exit = b.newBlock()
+	b.cur = b.ir.Entry
+	b.stmts(body.List)
+	b.edge(b.cur, b.ir.Exit)
+	return b.ir
+}
+
+// frame is one enclosing breakable/continuable construct.
+type frame struct {
+	label string
+	brk   *Block
+	cont  *Block // nil for switch/select
+}
+
+type irBuilder struct {
+	ir     *FuncIR
+	cur    *Block
+	frames []frame
+	// pendingLabel names the construct a LabeledStmt wraps, so labeled
+	// break/continue resolve to the right frame.
+	pendingLabel string
+}
+
+func (b *irBuilder) newBlock() *Block {
+	blk := &Block{}
+	b.ir.Blocks = append(b.ir.Blocks, blk)
+	return blk
+}
+
+func (b *irBuilder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *irBuilder) emit(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *irBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// dead switches to an unreachable continuation block after a jump.
+func (b *irBuilder) dead() {
+	b.cur = b.newBlock()
+}
+
+// terminatorCall reports whether a call never returns: panic and the
+// conventional process/test aborts. Modeling these keeps must-analyses
+// precise through `if err != nil { log.Fatal(err) }` guards.
+func terminatorCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Exit", "Fatal", "Fatalf", "Fatalln", "Goexit":
+			return true
+		}
+	}
+	return false
+}
+
+func (b *irBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *irBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt:
+	case *ast.ExprStmt:
+		b.emit(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && terminatorCall(call) {
+			b.edge(b.cur, b.ir.Exit)
+			b.dead()
+		}
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt,
+		*ast.DeferStmt, *ast.GoStmt:
+		b.emit(s)
+	case *ast.ReturnStmt:
+		b.emit(s)
+		b.edge(b.cur, b.ir.Exit)
+		b.dead()
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.IfStmt:
+		b.stmt(s.Init)
+		b.emit(s.Cond)
+		condB := b.cur
+		join := b.newBlock()
+		thenB := b.newBlock()
+		b.edge(condB, thenB)
+		b.cur = thenB
+		b.stmts(s.Body.List)
+		b.edge(b.cur, join)
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(condB, elseB)
+			b.cur = elseB
+			b.stmt(s.Else)
+			b.edge(b.cur, join)
+		} else {
+			b.edge(condB, join)
+		}
+		b.cur = join
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		b.stmt(s.Init)
+		head := b.newBlock()
+		join := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		b.emit(s.Cond)
+		cont := b.newBlock() // post-statement block; `continue` target
+		body := b.newBlock()
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, join)
+		}
+		b.frames = append(b.frames, frame{label: label, brk: join, cont: cont})
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edge(b.cur, cont)
+		b.cur = cont
+		b.stmt(s.Post)
+		b.edge(b.cur, head)
+		b.cur = join
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.emit(s.X)
+		head := b.newBlock()
+		join := b.newBlock()
+		b.edge(b.cur, head)
+		// The range header in a block stands for the per-iteration
+		// key/value binding only (see the package conventions above).
+		head.Nodes = append(head.Nodes, s)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, join)
+		b.frames = append(b.frames, frame{label: label, brk: join, cont: head})
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edge(b.cur, head)
+		b.cur = join
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		b.stmt(s.Init)
+		b.emit(s.Tag)
+		b.caseBlocks(label, s.Body.List, func(c ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+			cc := c.(*ast.CaseClause)
+			var hdr []ast.Node
+			for _, e := range cc.List {
+				hdr = append(hdr, e)
+			}
+			return hdr, cc.Body, cc.List == nil
+		}, true)
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		b.stmt(s.Init)
+		b.emit(s.Assign)
+		b.caseBlocks(label, s.Body.List, func(c ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+			cc := c.(*ast.CaseClause)
+			return nil, cc.Body, cc.List == nil
+		}, false)
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.caseBlocks(label, s.Body.List, func(c ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+			cc := c.(*ast.CommClause)
+			var hdr []ast.Node
+			if cc.Comm != nil {
+				hdr = append(hdr, cc.Comm)
+			}
+			return hdr, cc.Body, cc.Comm == nil
+		}, false)
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			for i := len(b.frames) - 1; i >= 0; i-- {
+				if s.Label == nil || b.frames[i].label == s.Label.Name {
+					b.edge(b.cur, b.frames[i].brk)
+					break
+				}
+			}
+			b.dead()
+		case token.CONTINUE:
+			for i := len(b.frames) - 1; i >= 0; i-- {
+				if b.frames[i].cont != nil && (s.Label == nil || b.frames[i].label == s.Label.Name) {
+					b.edge(b.cur, b.frames[i].cont)
+					break
+				}
+			}
+			b.dead()
+		case token.GOTO:
+			b.ir.Imprecise = true
+			b.edge(b.cur, b.ir.Exit)
+			b.dead()
+		case token.FALLTHROUGH:
+			// Handled structurally by caseBlocks; reaching here means a
+			// clause the builder already wired.
+		}
+	}
+}
+
+// caseBlocks wires switch/type-switch/select clauses: every clause branches
+// from the current block, non-terminating clauses join afterwards. A
+// missing default adds the fall-past edge (switch, select with default
+// semantics differ: a default-less select blocks until some clause runs, so
+// no fall-past edge is added unless allowFallPast).
+func (b *irBuilder) caseBlocks(label string, clauses []ast.Stmt, split func(ast.Stmt) ([]ast.Node, []ast.Stmt, bool), allowFallPast bool) {
+	head := b.cur
+	join := b.newBlock()
+	b.frames = append(b.frames, frame{label: label, brk: join})
+
+	type clause struct {
+		blk  *Block
+		body []ast.Stmt
+	}
+	built := make([]clause, 0, len(clauses))
+	hasDefault := false
+	for _, c := range clauses {
+		hdr, body, isDefault := split(c)
+		if isDefault {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		b.edge(head, blk)
+		blk.Nodes = append(blk.Nodes, hdr...)
+		built = append(built, clause{blk: blk, body: body})
+	}
+	if (!hasDefault && allowFallPast) || len(clauses) == 0 {
+		b.edge(head, join)
+	}
+	for i, c := range built {
+		b.cur = c.blk
+		body := c.body
+		// A trailing fallthrough transfers into the next clause's body.
+		fallsThrough := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				body = body[:n-1]
+				fallsThrough = true
+			}
+		}
+		b.stmts(body)
+		if fallsThrough && i+1 < len(built) {
+			b.edge(b.cur, built[i+1].blk)
+			b.dead()
+		} else {
+			b.edge(b.cur, join)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = join
+}

@@ -37,6 +37,59 @@ func TestBatchAlias(t *testing.T) {
 	linttest.Run(t, badmod, lint.BatchAlias, "neurdb/internal/executor")
 }
 
+func TestLifecycleClient(t *testing.T) {
+	linttest.Run(t, badmod, lint.Lifecycle, "neurdb/client")
+}
+
+// TestLifecycleCrossPackage proves the interprocedural path: the close
+// happens inside client.Drain, and only the summaries fact carries it into
+// the server fixture.
+func TestLifecycleCrossPackage(t *testing.T) {
+	linttest.Run(t, badmod, lint.Lifecycle, "neurdb/internal/server")
+}
+
+func TestLifecycleExecutor(t *testing.T) {
+	linttest.Run(t, badmod, lint.Lifecycle, "neurdb/internal/executor")
+}
+
+func TestAtomicMix(t *testing.T) {
+	linttest.Run(t, badmod, lint.AtomicMix, "neurdb/internal/storage")
+}
+
+// TestAtomicMixCrossPackage: the field's atomic discipline is a fact of the
+// defining package; the plain write lives in the importer.
+func TestAtomicMixCrossPackage(t *testing.T) {
+	linttest.Run(t, badmod, lint.AtomicMix, "neurdb/internal/executor")
+}
+
+func TestErrCmp(t *testing.T) {
+	linttest.Run(t, badmod, lint.ErrCmp, "neurdb/internal/errs")
+}
+
+func TestExhaustiveEnum(t *testing.T) {
+	linttest.Run(t, badmod, lint.Exhaustive, "neurdb/internal/wire")
+}
+
+func TestExhaustiveInterface(t *testing.T) {
+	linttest.Run(t, badmod, lint.Exhaustive, "neurdb/internal/rel")
+}
+
+// TestExhaustiveCrossPackage: the closed set of wire.Op reaches the
+// executor's dispatch switch as an imported fact.
+func TestExhaustiveCrossPackage(t *testing.T) {
+	linttest.Run(t, badmod, lint.Exhaustive, "neurdb/internal/executor")
+}
+
+func TestGateOrder(t *testing.T) {
+	linttest.Run(t, badmod, lint.GateOrder, "neurdb/internal/executor")
+}
+
+// TestGateOrderTxnClean: the txn fixture's commit protocol holds the gate
+// but never claims a stripe under it — gateorder must stay silent there.
+func TestGateOrderTxnClean(t *testing.T) {
+	linttest.Run(t, badmod, lint.GateOrder, "neurdb/internal/txn")
+}
+
 // TestAnalyzerPinning proves an analyzer is inert outside its packages: the
 // executor fixture is full of batch aliasing, but stripelock (pinned to
 // internal/txn) must not report there — running the whole suite over the

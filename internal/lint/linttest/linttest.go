@@ -28,6 +28,12 @@ type expectation struct {
 // Run loads pkgPath from the fixture module at moduleDir, runs the analyzer,
 // and reports a test error for every diagnostic without a matching
 // expectation and every expectation without a matching diagnostic.
+//
+// The whole suite executes under one Runner — fact-generating passes
+// included, with dependencies of the fixture package analyzed lazily — so
+// interprocedural expectations (callee summaries, closed-enum facts from a
+// sibling fixture package) resolve exactly as they do in the real drivers.
+// Only the named analyzer's diagnostics are checked.
 func Run(t *testing.T, moduleDir string, a *lint.Analyzer, pkgPath string) {
 	t.Helper()
 	loader, err := lint.NewLoader(moduleDir)
@@ -38,9 +44,29 @@ func Run(t *testing.T, moduleDir string, a *lint.Analyzer, pkgPath string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{a})
+	suite := lint.All()
+	present := false
+	for _, s := range suite {
+		if s == a {
+			present = true
+			break
+		}
+	}
+	if !present {
+		suite = append(suite, a)
+	}
+	runner := lint.NewRunner(suite)
+	runner.Module = loader.Module
+	runner.LoadDep = loader.Load
+	allDiags, _, err := runner.Run(pkg)
 	if err != nil {
 		t.Fatal(err)
+	}
+	var diags []lint.Diagnostic
+	for _, d := range allDiags {
+		if d.Analyzer == a.Name {
+			diags = append(diags, d)
+		}
 	}
 
 	wants := collect(t, a.Name, pkg)
@@ -107,7 +133,10 @@ func Diagnostics(moduleDir, pkgPath string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	diags, err := lint.RunAnalyzers(pkg, lint.All())
+	runner := lint.NewRunner(lint.All())
+	runner.Module = loader.Module
+	runner.LoadDep = loader.Load
+	diags, _, err := runner.Run(pkg)
 	if err != nil {
 		return nil, err
 	}

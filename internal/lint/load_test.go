@@ -1,0 +1,174 @@
+package lint_test
+
+import (
+	"go/build"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"neurdb/internal/lint"
+)
+
+// writeModule materializes a throwaway module under t.TempDir so loader
+// behavior can be probed without touching the real tree or the fixture
+// module. files maps module-relative paths to contents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoaderBuildTagFiltering: the loader must filter files through the
+// build context exactly like `go build` — a file behind `//go:build
+// invariants` is invisible by default and visible when the tag is set.
+// The invariants tag is the one that matters in this repo: the runtime
+// assertion counterparts of the analyzers live behind it, and the loader
+// picking up the wrong half (or both halves, a redeclaration error) would
+// make standalone lint runs diverge from the vet driver.
+func TestLoaderBuildTagFiltering(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":  "module tagmod\n\ngo 1.22\n",
+		"base.go": "package tagmod\n\nfunc Arm() bool { return armed }\n",
+		"inv_on.go": "//go:build invariants\n\npackage tagmod\n\n" +
+			"const armed = true\nconst invariantsBuild = true\n",
+		"inv_off.go": "//go:build !invariants\n\npackage tagmod\n\n" +
+			"const armed = false\n",
+	})
+
+	load := func(t *testing.T) *lint.Package {
+		t.Helper()
+		l, err := lint.NewLoader(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := l.Load("tagmod")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pkg
+	}
+
+	t.Run("default excludes tagged file", func(t *testing.T) {
+		pkg := load(t)
+		if pkg.Pkg.Scope().Lookup("invariantsBuild") != nil {
+			t.Error("file behind //go:build invariants was loaded without the tag")
+		}
+		if pkg.Pkg.Scope().Lookup("armed") == nil {
+			t.Error("the !invariants counterpart file was not loaded")
+		}
+	})
+
+	t.Run("tag set includes tagged file", func(t *testing.T) {
+		saved := build.Default.BuildTags
+		build.Default.BuildTags = append(append([]string(nil), saved...), "invariants")
+		defer func() { build.Default.BuildTags = saved }()
+
+		pkg := load(t)
+		if pkg.Pkg.Scope().Lookup("invariantsBuild") == nil {
+			t.Error("file behind //go:build invariants was not loaded with the tag set")
+		}
+	})
+}
+
+// TestLoaderTestFileExclusion: _test.go files are never part of the
+// package the loader builds — the analyzers enforce production-code
+// contracts, and a test file referencing undefined symbols (legal for a
+// file the loader must skip) must not break typechecking.
+func TestLoaderTestFileExclusion(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":      "module exmod\n\ngo 1.22\n",
+		"lib.go":      "package exmod\n\nfunc Lib() int { return 1 }\n",
+		"lib_test.go": "package exmod\n\nconst fromTestFile = undefinedEverywhere\n",
+	})
+	l, err := lint.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load("exmod")
+	if err != nil {
+		t.Fatalf("loading alongside a broken _test.go failed: %v", err)
+	}
+	if pkg.Pkg.Scope().Lookup("fromTestFile") != nil {
+		t.Error("_test.go contents leaked into the loaded package")
+	}
+	if len(pkg.Files) != 1 {
+		t.Errorf("got %d files, want 1 (lib.go only)", len(pkg.Files))
+	}
+}
+
+// TestLoaderWalkSkips: Walk must not descend into testdata, hidden, or
+// underscore directories — those hold fixture modules and editor litter
+// that do not belong to the module under analysis.
+func TestLoaderWalkSkips(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":                  "module walkmod\n\ngo 1.22\n",
+		"root.go":                 "package walkmod\n",
+		"sub/sub.go":              "package sub\n",
+		"testdata/fix/fix.go":     "package fix\n",
+		"sub/testdata/f/f.go":     "package f\n",
+		".hidden/h.go":            "package h\n",
+		"_scratch/s.go":           "package s\n",
+		"empty/README.md":         "no go files here\n",
+		"onlytest/only_test.go":   "package onlytest\n",
+		"tagged/invariant_off.go": "//go:build neverset\n\npackage tagged\n",
+	})
+	l, err := lint.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := l.Walk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"walkmod", "walkmod/sub"}
+	if len(paths) != len(want) {
+		t.Fatalf("Walk() = %v, want %v", paths, want)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("Walk() = %v, want %v", paths, want)
+		}
+	}
+}
+
+// FuzzLoadPackage: the loader must be panic-free on malformed Go source —
+// it runs over whatever a contributor's working tree contains, and a parse
+// or typecheck problem must surface as an error, never a crash. Errors are
+// expected and ignored; only panics fail.
+func FuzzLoadPackage(f *testing.F) {
+	f.Add("package p\n\nfunc F() int { return 1 }\n")
+	f.Add("package p\n\nfunc broken( {\n")
+	f.Add("package p\n\nvar x = undefinedName\n")
+	f.Add("pack age p\n")
+	f.Add("")
+	f.Add("//go:build invariants\n\npackage p\n")
+	f.Add("package p\n\nimport \"no/such/pkg\"\n\nvar _ = pkg.X\n")
+	f.Add("package p\n\ntype T struct { T }\n")
+	f.Add("package p\n\x00\xff\xfe\n")
+	f.Add("package p\n//lint:ignore\n//lint:closedenum\nfunc F() {}\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fuzzmod\n\ngo 1.22\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "fuzzed.go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := lint.NewLoader(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Parse/typecheck errors are the expected outcome for most inputs;
+		// the property under test is the absence of panics.
+		_, _ = l.Load("fuzzmod")
+	})
+}

@@ -1,0 +1,274 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Summaries is the interprocedural backbone of the suite: a fact-only pass
+// that computes, for every function in every in-module package, which
+// engine-level effects the function may (transitively) have — acquire a
+// write-claim stripe, take the WAL commit gate, poison the log, or
+// close/finalize one of its parameters. The summaries are fixpointed over
+// the package-local call graph, folded with imported summaries for
+// cross-package callees (dependencies analyze first, under both the vet
+// unitchecker schedule and the standalone loader), and exported as facts so
+// the flow-sensitive analyzers (gateorder, lifecycle) see through calls
+// that cross package boundaries.
+//
+// It never reports anything itself; its Packages pin is a sentinel no real
+// import path matches.
+// summariesName breaks the initializer cycle between the Summaries value
+// and the passes (including its own) that import its facts by name.
+const summariesName = "summaries"
+
+var Summaries = &Analyzer{
+	Name:     summariesName,
+	Doc:      "fact-only pass: interprocedural function-effect summaries (stripe/gate/poison/close)",
+	Packages: []string{"neurdb-lint:facts-only"},
+	Facts:    true,
+	Run:      runSummaries,
+}
+
+// Summary is one function's may-effect set. CloseParams lists the
+// parameters the function may close or finalize (0-based; -1 is the method
+// receiver), so lifecycle can kill a tracked value that is closed by a
+// helper instead of an inline .Close().
+type Summary struct {
+	AcquiresStripe bool  `json:",omitempty"`
+	LocksGate      bool  `json:",omitempty"` // either gate mode: GateRLock or GateLock
+	PoisonsLog     bool  `json:",omitempty"`
+	CloseParams    []int `json:",omitempty"`
+}
+
+func (s Summary) closesParam(i int) bool {
+	for _, p := range s.CloseParams {
+		if p == i {
+			return true
+		}
+	}
+	return false
+}
+
+// summaryKey names the fact entry for one function.
+func summaryKey(fn *types.Func) string { return FuncKey(fn) }
+
+// calleeFunc resolves a call to its static *types.Func, nil for builtins,
+// function values, and interface methods we cannot pin down — those resolve
+// to method *types.Func too via Selections, which is exactly what we want
+// for interface-typed receivers (the summary of the interface method is
+// unknown, so lookup just misses).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isPoisonStore matches the WAL poison publication idiom:
+// <x>.poison.Store(...) / .CompareAndSwap(...) / .Swap(...).
+func isPoisonStore(call *ast.CallExpr) bool {
+	fun, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch fun.Sel.Name {
+	case "Store", "CompareAndSwap", "Swap":
+	default:
+		return false
+	}
+	inner, ok := fun.X.(*ast.SelectorExpr)
+	return ok && inner.Sel.Name == "poison"
+}
+
+// isGateCall classifies gate acquisitions by method name.
+func isGateCall(name string) bool {
+	return name == "GateRLock" || name == "GateLock"
+}
+
+// summaryBuilder accumulates per-function summaries to a fixpoint.
+type summaryBuilder struct {
+	pass  *Pass
+	decls map[*types.Func]*ast.FuncDecl
+	sums  map[*types.Func]*Summary
+}
+
+// paramIndex maps an identifier to its parameter position in fn's
+// signature: 0-based parameters, -1 for the receiver, ok=false otherwise.
+func paramIndex(info *types.Info, fn *ast.FuncDecl, id *ast.Ident) (int, bool) {
+	obj, _ := info.Uses[id].(*types.Var)
+	if obj == nil {
+		return 0, false
+	}
+	def, _ := info.Defs[fn.Name].(*types.Func)
+	if def == nil {
+		return 0, false
+	}
+	sig := def.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil && recv == obj {
+		return -1, true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == obj {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func runSummaries(pass *Pass) error {
+	b := &summaryBuilder{
+		pass:  pass,
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		sums:  make(map[*types.Func]*Summary),
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			b.decls[fn] = fd
+			b.sums[fn] = &Summary{}
+		}
+	}
+
+	// Fixpoint: re-scan every function folding callee summaries (local
+	// current-iteration values, or imported facts for other packages)
+	// until nothing changes. The lattice is finite and monotone.
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range b.decls {
+			if b.scanOnce(fn, fd) {
+				changed = true
+			}
+		}
+	}
+
+	for fn, sum := range b.sums {
+		if sum.AcquiresStripe || sum.LocksGate || sum.PoisonsLog || len(sum.CloseParams) > 0 {
+			pass.ExportFact(summaryKey(fn), sum)
+		}
+	}
+	return nil
+}
+
+// lookup resolves a callee's summary: the in-progress local map for
+// package-local functions, imported facts otherwise.
+func (b *summaryBuilder) lookup(fn *types.Func) (Summary, bool) {
+	if s, ok := b.sums[fn]; ok {
+		return *s, true
+	}
+	if fn.Pkg() == nil || fn.Pkg() == b.pass.Pkg {
+		return Summary{}, false
+	}
+	var s Summary
+	if b.pass.ImportAnalyzerFact(summariesName, fn.Pkg().Path(), summaryKey(fn), &s) {
+		return s, true
+	}
+	return Summary{}, false
+}
+
+// scanOnce folds one function's direct effects and callee summaries into
+// its summary, reporting whether the summary grew.
+func (b *summaryBuilder) scanOnce(fn *types.Func, fd *ast.FuncDecl) bool {
+	sum := b.sums[fn]
+	grew := false
+	set := func(dst *bool) {
+		if !*dst {
+			*dst = true
+			grew = true
+		}
+	}
+	addClose := func(i int) {
+		if !sum.closesParam(i) {
+			sum.CloseParams = append(sum.CloseParams, i)
+			grew = true
+		}
+	}
+	info := b.pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// A closure's effects happen when it runs, not when the
+			// enclosing function does; it is summarized separately if it
+			// ever becomes addressable. Conservative for goroutines —
+			// matching the stripe analyzers' existing convention.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Direct effects.
+		if acq, _, name := classifyStripeCall(call); acq {
+			set(&sum.AcquiresStripe)
+		} else if isGateCall(name) {
+			set(&sum.LocksGate)
+		}
+		if isPoisonStore(call) {
+			set(&sum.PoisonsLog)
+		}
+		// Close/finalize of a parameter: p.Close() or helper(p) where the
+		// helper closes that parameter position.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Close" || sel.Sel.Name == "Finalize") {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if i, ok := paramIndex(info, fd, id); ok {
+					addClose(i)
+				}
+			}
+		}
+		// Callee effects.
+		callee := calleeFunc(info, call)
+		if callee == nil {
+			return true
+		}
+		cs, ok := b.lookup(callee)
+		if !ok {
+			return true
+		}
+		if cs.AcquiresStripe {
+			set(&sum.AcquiresStripe)
+		}
+		if cs.LocksGate {
+			set(&sum.LocksGate)
+		}
+		if cs.PoisonsLog {
+			set(&sum.PoisonsLog)
+		}
+		// Parameter closes propagate through argument positions: if the
+		// callee closes its receiver, our param used as its receiver is
+		// closed; if it closes arg i, our param passed at i is closed.
+		if len(cs.CloseParams) > 0 {
+			if cs.closesParam(-1) {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok {
+						if i, ok := paramIndex(info, fd, id); ok {
+							addClose(i)
+						}
+					}
+				}
+			}
+			for ai, arg := range call.Args {
+				if !cs.closesParam(ai) {
+					continue
+				}
+				if id, ok := arg.(*ast.Ident); ok {
+					if i, ok := paramIndex(info, fd, id); ok {
+						addClose(i)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return grew
+}

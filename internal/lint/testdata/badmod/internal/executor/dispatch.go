@@ -1,0 +1,25 @@
+// Cross-package exhaustive fixture: the closed set of wire.Op lives in its
+// defining package; the gap in this dispatch is only catchable through the
+// imported enum fact.
+package executor
+
+import "neurdb/internal/wire"
+
+// writesData misses OpSelect and OpDelete.
+func writesData(op wire.Op) bool {
+	switch op { // want exhaustive:"misses OpDelete, OpSelect"
+	case wire.OpInsert:
+		return true
+	}
+	return false
+}
+
+// opClass defaults the long tail — clean.
+func opClass(op wire.Op) string {
+	switch op {
+	case wire.OpSelect:
+		return "read"
+	default:
+		return "write"
+	}
+}

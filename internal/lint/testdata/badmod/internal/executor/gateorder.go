@@ -1,0 +1,75 @@
+// Gateorder fixtures: the lock order between write-claim stripes and the
+// WAL commit gate is stripe first, gate second; acquiring a stripe under
+// the gate — directly or through a callee — inverts against the
+// checkpointer.
+package executor
+
+import "sync"
+
+type gateLog struct{ mu sync.RWMutex }
+
+func (g *gateLog) GateRLock() { g.mu.RLock() }
+
+func (g *gateLog) GateRUnlock() { g.mu.RUnlock() }
+
+func (g *gateLog) GateLock() { g.mu.Lock() }
+
+func (g *gateLog) GateUnlock() { g.mu.Unlock() }
+
+type claims struct {
+	stripes [8]struct{ mu sync.Mutex }
+	log     *gateLog
+}
+
+func (c *claims) lockStripe(i int) { c.stripes[i].mu.Lock() }
+
+func (c *claims) unlockStripe(i int) { c.stripes[i].mu.Unlock() }
+
+// claimAny is the helper whose interprocedural summary carries the
+// may-acquire effect.
+func (c *claims) claimAny(i int) { c.lockStripe(i) }
+
+// orderClean takes the stripe first, then the gate — the blessed order.
+func (c *claims) orderClean(i int) {
+	c.lockStripe(i)
+	c.log.GateRLock()
+	c.log.GateRUnlock()
+	c.unlockStripe(i)
+}
+
+// inverted acquires a stripe while the read gate is held.
+func (c *claims) inverted(i int) {
+	c.log.GateRLock()
+	c.lockStripe(i) // want gateorder:"while the WAL commit gate is held"
+	c.unlockStripe(i)
+	c.log.GateRUnlock()
+}
+
+// invertedViaCall inverts through the callee's summary: nothing on this
+// line names a stripe.
+func (c *claims) invertedViaCall(i int) {
+	c.log.GateLock()
+	c.claimAny(i) // want gateorder:"may acquire a write-claim stripe"
+	c.log.GateUnlock()
+}
+
+// releasedFirst drops the gate before claiming — clean.
+func (c *claims) releasedFirst(i int) {
+	c.log.GateRLock()
+	c.log.GateRUnlock()
+	c.lockStripe(i)
+	c.unlockStripe(i)
+}
+
+// branchHeld holds the gate on only one path into the claim; a may-held
+// gate is still an inversion.
+func (c *claims) branchHeld(i int, fast bool) {
+	if !fast {
+		c.log.GateRLock()
+	}
+	c.lockStripe(i) // want gateorder:"while the WAL commit gate is held"
+	c.unlockStripe(i)
+	if !fast {
+		c.log.GateRUnlock()
+	}
+}

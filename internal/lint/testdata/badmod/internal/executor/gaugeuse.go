@@ -1,0 +1,16 @@
+// Cross-package atomicmix fixture: storage.Gauge.N is atomic in its
+// defining package; the plain write here is only catchable through the
+// imported field fact.
+package executor
+
+import "neurdb/internal/storage"
+
+// resetGauge writes the gauge without the atomic.
+func resetGauge(g *storage.Gauge) {
+	g.N = 0 // want atomicmix:"accessed atomically elsewhere but plainly here"
+}
+
+// readGauge goes through the accessor — clean.
+func readGauge(g *storage.Gauge) uint64 {
+	return g.Load()
+}

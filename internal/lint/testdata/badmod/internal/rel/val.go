@@ -1,0 +1,49 @@
+// Exhaustive interface fixtures: a closed value union whose type switches
+// must cover every implementing type or carry a default.
+package rel
+
+// Val is the fixture's closed value union: every implementation lives in
+// this package.
+//
+//lint:closedenum
+type Val interface{ isVal() }
+
+// IntVal is an integer value.
+type IntVal struct{ V int64 }
+
+func (IntVal) isVal() {}
+
+// StrVal is a string value.
+type StrVal struct{ S string }
+
+func (StrVal) isVal() {}
+
+// valName misses StrVal with no default.
+func valName(v Val) string {
+	switch v.(type) { // want exhaustive:"misses StrVal"
+	case IntVal:
+		return "int"
+	}
+	return "?"
+}
+
+// valKind covers the union — clean.
+func valKind(v Val) string {
+	switch v.(type) {
+	case IntVal:
+		return "int"
+	case StrVal:
+		return "str"
+	}
+	return "?"
+}
+
+// valWidth defaults the tail — clean.
+func valWidth(v Val) int {
+	switch v.(type) {
+	case StrVal:
+		return 16
+	default:
+		return 8
+	}
+}

@@ -1,0 +1,30 @@
+// Package server seeds the cross-package half of the lifecycle fixtures:
+// a helper in neurdb/client closes its parameter, and the summaries fact
+// carries that effect across the package boundary.
+package server
+
+import "neurdb/client"
+
+// crossClose uses the rows after client.Drain finalized them; the close
+// happens two packages away and is only visible through the imported
+// function summary.
+func crossClose(r *client.Rows) bool {
+	client.Drain(r)
+	return r.Next() // want lifecycle:"after r.Close"
+}
+
+// crossCleanup drains and stops — clean.
+func crossCleanup(r *client.Rows) error {
+	client.Drain(r)
+	return r.Err()
+}
+
+// serveOnce owns the whole lifecycle locally — clean.
+func serveOnce(r *client.Rows) int {
+	var v int
+	for r.Next() {
+		r.Scan(&v)
+	}
+	r.Close()
+	return v
+}

@@ -1,0 +1,52 @@
+// Atomicmix fixtures: fields that mix atomic and plain access, the
+// Store(Load()) read-modify-write on typed atomics, and the clean
+// disciplines that must stay silent.
+package storage
+
+import "sync/atomic"
+
+// Meter counts page fills; pages is incremented atomically on the hot path
+// but snapshotted plainly — the mix the analyzer exists for.
+type Meter struct {
+	pages   uint64
+	flushes uint64
+}
+
+// Inc is the hot-path increment.
+func (m *Meter) Inc() { atomic.AddUint64(&m.pages, 1) }
+
+// Snapshot reads the counter without the atomic.
+func (m *Meter) Snapshot() uint64 {
+	return m.pages // want atomicmix:"accessed atomically elsewhere but plainly here"
+}
+
+// IncFlush and FlushCount keep every access atomic — clean.
+func (m *Meter) IncFlush() { atomic.AddUint64(&m.flushes, 1) }
+
+// FlushCount reads it back atomically — clean.
+func (m *Meter) FlushCount() uint64 { return atomic.LoadUint64(&m.flushes) }
+
+// Gauge is read atomically here and written plainly by the executor
+// fixture: the discipline crosses the package boundary as a fact.
+type Gauge struct {
+	N uint64
+}
+
+// Load reads the gauge on the monitoring path.
+func (g *Gauge) Load() uint64 { return atomic.LoadUint64(&g.N) }
+
+// seqHolder carries a typed atomic sequence counter.
+type seqHolder struct {
+	seq atomic.Int64
+}
+
+// bumpRacy loses updates between the Load and the Store.
+func (s *seqHolder) bumpRacy() {
+	s.seq.Store(s.seq.Load() + 1) // want atomicmix:"not an atomic read-modify-write"
+}
+
+// bumpClean is the correct form — clean.
+func (s *seqHolder) bumpClean() { s.seq.Add(1) }
+
+// rebase stores a value derived from a different source — clean.
+func (s *seqHolder) rebase(base int64) { s.seq.Store(base) }

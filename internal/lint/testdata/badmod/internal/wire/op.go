@@ -1,0 +1,50 @@
+// Exhaustive fixtures: a closed opcode enum whose dispatch switches must
+// cover every member or carry a default.
+package wire
+
+// Op is the fixture wire opcode set.
+//
+//lint:closedenum
+type Op uint8
+
+// Opcodes.
+const (
+	OpInsert Op = iota
+	OpSelect
+	OpDelete
+)
+
+// opName misses OpDelete with no default: a new opcode added to the enum
+// would silently fall through.
+func opName(op Op) string {
+	switch op { // want exhaustive:"misses OpDelete"
+	case OpInsert:
+		return "insert"
+	case OpSelect:
+		return "select"
+	}
+	return "?"
+}
+
+// opCost carries a default, so the set is open by design — clean.
+func opCost(op Op) int {
+	switch op {
+	case OpInsert:
+		return 3
+	default:
+		return 1
+	}
+}
+
+// opWire covers every member — clean.
+func opWire(op Op) byte {
+	switch op {
+	case OpInsert:
+		return 'I'
+	case OpSelect:
+		return 'S'
+	case OpDelete:
+		return 'D'
+	}
+	return 0
+}

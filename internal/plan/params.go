@@ -47,6 +47,8 @@ func HasParams(n Node) bool {
 					break
 				}
 			}
+		case *Limit:
+			// N is a parsed literal; LIMIT has no parameter slot.
 		}
 	})
 	return found

@@ -14,6 +14,8 @@ import (
 
 // Node is a physical plan operator. EstRows/EstCost are annotated by the
 // optimizer that produced the plan and double as model features.
+//
+//lint:closedenum
 type Node interface {
 	// Schema is the output schema.
 	Schema() *rel.Schema
@@ -184,6 +186,8 @@ func (p *Project) Label() string {
 }
 
 // AggKind enumerates aggregate functions.
+//
+//lint:closedenum
 type AggKind uint8
 
 // Aggregate kinds.

@@ -13,6 +13,8 @@ import (
 )
 
 // Type identifies the type of a Value.
+//
+//lint:closedenum
 type Type uint8
 
 // Supported column types. The engine is deliberately small: integers,
@@ -343,6 +345,8 @@ func (v Value) Hash() uint64 {
 func EncodeValue(dst []byte, v Value) []byte {
 	dst = append(dst, byte(v.Typ))
 	switch v.Typ {
+	case TypeNull:
+		// The tag byte alone: NULL carries no payload.
 	case TypeInt:
 		var buf [8]byte
 		binary.LittleEndian.PutUint64(buf[:], uint64(v.I))

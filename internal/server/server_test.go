@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"strings"
@@ -415,11 +416,7 @@ func TestCancel(t *testing.T) {
 }
 
 func asClientError(err error, target **client.Error) bool {
-	e, ok := err.(*client.Error)
-	if ok {
-		*target = e
-	}
-	return ok
+	return errors.As(err, target)
 }
 
 // TestOversizedFrame sends a frame above the server's limit: the payload

@@ -306,6 +306,8 @@ type SetStmt struct {
 func (*SetStmt) stmt() {}
 
 // PredictKind distinguishes regression from classification.
+//
+//lint:closedenum
 type PredictKind uint8
 
 // Predict task kinds (paper §2.3).

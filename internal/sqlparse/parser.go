@@ -855,6 +855,8 @@ func (p *Parser) parseUnary() (Expr, error) {
 				return &Lit{Val: rel.Int(-lit.Val.I)}, nil
 			case rel.TypeFloat:
 				return &Lit{Val: rel.Float(-lit.Val.F)}, nil
+			default:
+				// Non-numeric: keep the Unary node; eval rejects it.
 			}
 		}
 		return &Unary{Op: "-", E: e}, nil
@@ -1000,6 +1002,8 @@ func (p *Parser) parseLiteral() (rel.Value, error) {
 				return rel.Int(-v.I), nil
 			case rel.TypeFloat:
 				return rel.Float(-v.F), nil
+			default:
+				// Non-numeric: fall through to the error below.
 			}
 			return rel.Value{}, fmt.Errorf("sql: cannot negate %v", v)
 		}

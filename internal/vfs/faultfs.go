@@ -272,7 +272,7 @@ func (ff *faultFile) Read(p []byte) (int, error) {
 	// Reads are not in the fault script (recovery reads use ReadFile);
 	// journaled only when they fail, to keep the journal signal-dense.
 	n, err := ff.inner.Read(p)
-	if err != nil && err != io.EOF {
+	if err != nil && !errors.Is(err, io.EOF) {
 		ff.fs.record(OpOpen, ff.name, n, err)
 	}
 	return n, err

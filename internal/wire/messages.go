@@ -327,6 +327,8 @@ func RowSize(r rel.Row) int {
 	for _, v := range r {
 		n++ // type tag
 		switch v.Typ {
+		case rel.TypeNull:
+			// The tag byte alone: NULL carries no payload.
 		case rel.TypeInt, rel.TypeFloat:
 			n += 8
 		case rel.TypeText:

@@ -49,6 +49,8 @@ const (
 
 // Op identifies a frame's message type. Client- and server-sent opcodes
 // share one byte space with no overlaps, so protocol dumps are unambiguous.
+//
+//lint:closedenum
 type Op byte
 
 // Client-sent opcodes.
